@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark target runs one full figure sweep (simulated time inside,
+wall time measured by pytest-benchmark) and asserts the paper's
+qualitative claims about that figure.  Sweeps are cached per session
+(``functools.lru_cache`` on the figure functions), so asking for the same
+figure twice costs nothing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run a cached figure sweep under pytest-benchmark; returns the
+    figure's (x_values, series) result."""
+
+    def runner(fn, *args):
+        return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+    return runner

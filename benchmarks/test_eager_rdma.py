@@ -1,0 +1,72 @@
+"""RDMA-eager channel benchmark (Liu et al. [19], the companion MVAPICH
+design this paper's implementation sits on).
+
+Compares small-message ping-pong latency of the channel-semantics eager
+path against the polled RDMA ring across message sizes, and checks the
+ring's advantage fades once messages cross into rendezvous.
+"""
+
+import functools
+
+import pytest
+
+from repro import Cluster, types
+from repro.bench.report import Series, print_table, write_csv
+
+SIZES = (8, 64, 256, 1024, 4096, 8192, 65536)
+
+
+def _latency(nbytes: int, eager_rdma: bool, iters: int = 4) -> float:
+    dt = types.contiguous(nbytes, types.BYTE)
+
+    def rank0(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        t0 = None
+        for i in range(iters):
+            if i == 1:
+                t0 = mpi.now
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            yield from mpi.recv(buf, dt, 1, source=1, tag=1)
+        return (mpi.now - t0) / (iters - 1) / 2
+
+    def rank1(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        for _ in range(iters):
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            yield from mpi.send(buf, dt, 1, dest=0, tag=1)
+
+    return Cluster(2, eager_rdma=eager_rdma).run([rank0, rank1]).values[0]
+
+
+@functools.lru_cache(maxsize=None)
+def sweep():
+    out = {
+        "channel": Series("send/recv channel"),
+        "ring": Series("RDMA ring"),
+    }
+    for size in SIZES:
+        out["channel"].y.append(_latency(size, False))
+        out["ring"].y.append(_latency(size, True))
+    series = list(out.values())
+    print_table(
+        "Eager path: channel semantics vs polled RDMA ring (one-way latency)",
+        "bytes", list(SIZES), series, unit="us", baseline="send/recv channel",
+    )
+    write_csv("results/eager_rdma.csv", "bytes", list(SIZES), series)
+    return list(SIZES), out
+
+
+def test_eager_rdma_latency(benchmark):
+    sizes, out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    chan = out["channel"].y
+    ring = out["ring"].y
+    for i, size in enumerate(sizes):
+        if size <= 8192:  # eager regime
+            assert ring[i] < chan[i], size
+        else:  # rendezvous: identical path, no ring involvement
+            assert ring[i] == pytest.approx(chan[i], rel=0.01), size
+    # the absolute saving is a constant (per-hop protocol overhead), so
+    # the relative gain is largest for the smallest messages
+    gains = [c - r for c, r, s in zip(chan, ring, sizes) if s <= 8192]
+    assert max(gains) == pytest.approx(min(gains), abs=0.5)
+    assert (chan[0] - ring[0]) / chan[0] > 0.08  # >8% at 8 bytes

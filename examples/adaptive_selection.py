@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dynamic scheme selection (paper Section 6) in action.
+
+A mixed workload sends datatypes with very different block-size profiles.
+The adaptive selector inspects each message's flattened block statistics
+and routes it to the scheme the paper's analysis recommends:
+
+* tiny blocks  -> BC-SPUP (RDMA per block would drown in startups),
+* medium blocks -> RWG-UP (gather descriptors amortize startups),
+* large blocks -> Multi-W (zero copy wins outright).
+
+The example prints the per-message decisions and compares the adaptive
+run's total time against every fixed-scheme run.
+
+Run:  python examples/adaptive_selection.py
+"""
+
+from repro import Cluster, types
+from repro.ib.costmodel import MB
+
+WORKLOAD = [
+    ("tiny blocks", types.vector(4096, 8, 64, types.INT)),  # 32 B blocks
+    ("medium blocks", types.vector(256, 256, 2048, types.INT)),  # 1 KB blocks
+    ("large blocks", types.vector(64, 4096, 8192, types.INT)),  # 16 KB blocks
+    ("struct mix", types.struct([64, 512, 4096], [0, 1024, 65536], [types.INT] * 3)),
+    ("contiguous", types.contiguous(131072, types.INT)),
+]
+
+
+def make_programs():
+    def sender(mpi):
+        bufs = [mpi.alloc(dt.flatten(1).span + 64) for _name, dt in WORKLOAD]
+        t0 = mpi.now
+        for k, (buf, (_name, dt)) in enumerate(zip(bufs, WORKLOAD)):
+            yield from mpi.send(buf, dt, 1, dest=1, tag=k)
+        return mpi.now - t0
+
+    def receiver(mpi):
+        bufs = [mpi.alloc(dt.flatten(1).span + 64) for _name, dt in WORKLOAD]
+        for k, (buf, (_name, dt)) in enumerate(zip(bufs, WORKLOAD)):
+            yield from mpi.recv(buf, dt, 1, source=0, tag=k)
+
+    return [sender, receiver]
+
+
+def main():
+    print("Workload block-size profiles:")
+    for name, dt in WORKLOAD:
+        flat = dt.flatten(1)
+        print(
+            f"  {name:>13}: {dt.size >> 10:5d} KB in {flat.nblocks:5d} blocks, "
+            f"mean block {flat.mean_block:9.0f} B"
+        )
+
+    # adaptive run, with the selection log
+    cluster = Cluster(2, scheme="adaptive", memory_per_rank=512 * MB)
+    result = cluster.run(make_programs())
+    adaptive_time = result.values[0]
+    selector = cluster.contexts[0].get_scheme("adaptive")
+    print("\nAdaptive selector decisions:")
+    for (name, _dt), choice in zip(WORKLOAD, selector.choices.values()):
+        print(f"  {name:>13} -> {choice}")
+    print("  (contiguous messages bypass the selector: the runtime always "
+          "takes the zero-copy rendezvous path for them)")
+
+    print(f"\n{'scheme':>10} {'total (us)':>12}")
+    print(f"{'adaptive':>10} {adaptive_time:12.1f}")
+    for scheme in ("generic", "bc-spup", "rwg-up", "multi-w"):
+        cluster = Cluster(2, scheme=scheme, memory_per_rank=512 * MB)
+        t = cluster.run(make_programs()).values[0]
+        print(f"{scheme:>10} {t:12.1f}")
+    print("\nThe adaptive run should track the best fixed scheme per regime.")
+
+
+if __name__ == "__main__":
+    main()

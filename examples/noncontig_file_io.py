@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Noncontiguous file I/O over RDMA — the paper's closing claim applied.
+
+"Techniques discussed in this paper can be applied to other domains such
+as file and storage systems to support efficient noncontiguous I/O
+access."  This example checkpoints a strided in-memory dataset (every
+rank's slice of a 2-D array, described by a vector datatype) to a
+PVFS-style storage server, comparing:
+
+* ``pack``  — list-I/O baseline: pack locally, ship contiguously;
+* ``rdma``  — RDMA write gather straight from user memory into the file
+  region (writes) / RDMA read scatter back (reads), zero copy.
+
+The server CPU never touches the data path in either case; only the
+client-side copies differ.
+
+Run:  python examples/noncontig_file_io.py
+"""
+
+import numpy as np
+
+from repro import types
+from repro.io import StorageCluster
+
+ROWS, ROW_LEN, COLS = 256, 2048, 512  # checkpoint 512 columns per client
+NCLIENTS = 2
+
+
+def main():
+    dt = types.vector(ROWS, COLS, ROW_LEN, types.DOUBLE)
+    print(
+        f"Checkpointing {dt.size >> 20} MB per client "
+        f"({ROWS} blocks of {COLS * 8} B) to a storage server, "
+        f"{NCLIENTS} clients\n"
+    )
+    results = {}
+    for strategy in ("pack", "rdma"):
+        cluster = StorageCluster(NCLIENTS)
+        addrs = []
+        for client in cluster.clients:
+            addr = client.node.memory.alloc(dt.extent + 64)
+            view = client.node.memory.view_as(addr, (ROWS, ROW_LEN), np.float64)
+            view[:] = client.client_id
+            addrs.append(addr)
+
+        def make_prog(idx):
+            def prog(io):
+                fh = yield from io.open(f"ckpt{idx}", dt.size)
+                # warm write (registration), then a timed write + readback
+                yield from io.write(fh, 0, addrs[idx], dt, strategy=strategy)
+                t0 = io.sim.now
+                yield from io.write(fh, 0, addrs[idx], dt, strategy=strategy)
+                write_us = io.sim.now - t0
+                t0 = io.sim.now
+                yield from io.read(fh, 0, addrs[idx], dt, strategy=strategy)
+                read_us = io.sim.now - t0
+                return write_us, read_us
+
+            return prog
+
+        values = cluster.run([make_prog(i) for i in range(NCLIENTS)])
+        # verify the checkpoints landed intact
+        for i, client in enumerate(cluster.clients):
+            data = cluster.server.file_view(f"ckpt{i}").view(np.float64)
+            assert (data == client.client_id).all()
+        results[strategy] = values
+
+    print(f"{'strategy':>8} {'write (us)':>12} {'read (us)':>12}   (worst client)")
+    for strategy, values in results.items():
+        w = max(v[0] for v in values)
+        r = max(v[1] for v in values)
+        print(f"{strategy:>8} {w:12.1f} {r:12.1f}")
+    w_gain = max(v[0] for v in results["pack"]) / max(v[0] for v in results["rdma"])
+    print(f"\nRDMA gather/scatter saves the client-side copy: "
+          f"{w_gain:.2f}x faster checkpoint writes.  All data verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (``python setup.py develop``).
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build; this shim
+lets ``setup.py develop`` provide the same behaviour. All real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of *High Performance Implementation of MPI
+Derived Datatype Communication over InfiniBand* (Wu, Wyckoff, Panda,
+OSU-CISRC-10/03-TR58 / IPDPS 2004).
+
+The package layers:
+
+* :mod:`repro.simulator` — deterministic discrete-event engine.
+* :mod:`repro.ib` — simulated InfiniBand verbs (QPs, CQs, RDMA
+  write-gather / read-scatter, immediate data, memory registration) with
+  a cost model calibrated to the paper's Mellanox/Xeon testbed.
+* :mod:`repro.datatypes` — MPI derived datatype engine with partial
+  (segment) processing.
+* :mod:`repro.registration` — pin-down cache and Optimistic Group
+  Registration.
+* :mod:`repro.mpi` — eager/rendezvous protocols, matching, collectives.
+* :mod:`repro.schemes` — the paper's contribution: Generic baseline,
+  BC-SPUP, RWG-UP, P-RRS, Multi-W, and the adaptive selector.
+* :mod:`repro.bench` — workloads and harnesses regenerating every
+  data figure of the paper (see EXPERIMENTS.md).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Cluster, types
+
+    COLS = 64
+
+    def sender(mpi):
+        a = mpi.alloc_array((128, 4096), np.int32)
+        a.array[:] = np.arange(128 * 4096).reshape(128, 4096)
+        dt = types.vector(128, COLS, 4096, types.INT)
+        yield from mpi.send(a.addr, dt, 1, dest=1, tag=7)
+
+    def receiver(mpi):
+        b = mpi.alloc_array((128, 4096), np.int32)
+        dt = types.vector(128, COLS, 4096, types.INT)
+        yield from mpi.recv(b.addr, dt, 1, source=0, tag=7)
+        return b.array[:, :COLS].sum()
+
+    result = Cluster(2, scheme="multi-w").run([sender, receiver])
+    print(result.time_us, result.values[1])
+"""
+
+from repro import types
+from repro.ib.costmodel import CostModel, MB
+from repro.mpi.context import ANY_TAG
+from repro.mpi.world import Cluster, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_TAG",
+    "Cluster",
+    "CostModel",
+    "MB",
+    "RunResult",
+    "types",
+    "__version__",
+]

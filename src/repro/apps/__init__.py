@@ -1,0 +1,18 @@
+"""Reusable distributed application kernels.
+
+The paper's introduction motivates derived datatypes with
+"(de)composition of multi-dimensional data volumes, fast Fourier
+transform, and finite-element codes".  This subpackage packages those
+communication kernels as a library over the MPI layer, so applications
+(and the examples) call one function instead of hand-rolling datatypes:
+
+* :func:`halo_exchange` — one halo-exchange epoch on a 2-D tile
+  (contiguous rows, vector-datatype columns).
+* :func:`transpose` — distributed matrix transpose via one Alltoall of
+  resized vector slabs (the FFT communication core).
+* :func:`decompose_2d` — balanced 2-D process-grid factorization.
+"""
+
+from repro.apps.kernels import decompose_2d, halo_exchange, transpose
+
+__all__ = ["decompose_2d", "halo_exchange", "transpose"]

@@ -1,0 +1,106 @@
+"""Distributed kernels over the MPI layer (all generators)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import types
+
+__all__ = ["decompose_2d", "halo_exchange", "transpose"]
+
+_HALO_TAGS = (-1201, -1202, -1203, -1204)
+_TRANSPOSE_TAG = -1210
+
+
+def decompose_2d(nranks: int) -> tuple[int, int]:
+    """The most square (py, px) grid with py * px == nranks."""
+    px = int(math.sqrt(nranks))
+    while nranks % px:
+        px -= 1
+    return nranks // px, px
+
+
+def halo_exchange(mpi, tile_addr: int, n: int, itemsize: int, grid: tuple[int, int],
+                  comm=None):
+    """One halo-exchange epoch on an ``n x n`` tile (including the 1-cell
+    halo ring) of ``itemsize``-byte elements, on a periodic ``(py, px)``
+    process grid (generator).
+
+    North/south halos travel as contiguous rows; east/west halos as
+    vector datatypes — no manual packing.
+    """
+    ctx = comm or mpi
+    py, px = grid
+    if py * px != ctx.nranks:
+        raise ValueError(f"grid {grid} does not cover {ctx.nranks} ranks")
+    row_i, col_i = divmod(ctx.rank, px)
+    north = ((row_i - 1) % py) * px + col_i
+    south = ((row_i + 1) % py) * px + col_i
+    west = row_i * px + (col_i - 1) % px
+    east = row_i * px + (col_i + 1) % px
+    interior = n - 2
+    elem = {1: types.BYTE, 2: types.SHORT, 4: types.INT, 8: types.DOUBLE}[itemsize]
+    row = types.contiguous(interior, elem)
+    col = types.vector(interior, 1, n, elem)
+
+    def at(r, c):
+        return tile_addr + (r * n + c) * itemsize
+
+    t_n, t_s, t_w, t_e = _HALO_TAGS
+    reqs = []
+    for args in (
+        (at(0, 1), row, 1, north, t_n),
+        (at(n - 1, 1), row, 1, south, t_s),
+        (at(1, 0), col, 1, west, t_w),
+        (at(1, n - 1), col, 1, east, t_e),
+    ):
+        r = yield from ctx.irecv(*args)
+        reqs.append(r)
+    for args in (
+        (at(1, 1), row, 1, north, t_s),
+        (at(n - 2, 1), row, 1, south, t_n),
+        (at(1, 1), col, 1, west, t_e),
+        (at(1, n - 2), col, 1, east, t_w),
+    ):
+        r = yield from ctx.isend(*args)
+        reqs.append(r)
+    yield from ctx.waitall(reqs)
+
+
+def transpose(mpi, panel_addr: int, out_addr: int, n: int, itemsize: int = 8,
+              comm=None):
+    """Distributed transpose of an ``n x n`` row-distributed matrix
+    (generator).
+
+    Each rank holds ``n / p`` consecutive rows at ``panel_addr``.  After
+    the call, ``out_addr`` holds the rank's ``n / p`` consecutive rows of
+    the *transposed* matrix.  One Alltoall of resized vector slabs plus a
+    local block transpose — the classic FFT exchange.
+    """
+    ctx = comm or mpi
+    p = ctx.nranks
+    if n % p:
+        raise ValueError(f"matrix size {n} not divisible by {p} ranks")
+    rows = n // p
+    cols_per = n // p
+    elem = {4: types.INT, 8: types.DOUBLE}[itemsize]
+    slab = types.vector(rows, cols_per, n, elem)
+    send_chunk = types.resized(slab, lb=0, extent=cols_per * itemsize)
+    recv_chunk = types.contiguous(rows * cols_per, elem)
+    # exchange: chunk j of my panel (columns j*cols_per...) goes to rank j
+    scratch = ctx.alloc(p * rows * cols_per * itemsize)
+    yield from ctx.alltoall(panel_addr, send_chunk, 1, scratch, recv_chunk, 1)
+    # local rearrangement: chunk i holds rank i's rows of my columns;
+    # transpose each rows x cols_per block into out[:, i*rows ...]
+    np_dtype = np.int32 if itemsize == 4 else np.float64
+    out = ctx.node.memory.view(out_addr, rows * n * itemsize).view(np_dtype)
+    out = out.reshape(cols_per, n)
+    for i in range(p):
+        blk = ctx.node.memory.view(
+            scratch + i * rows * cols_per * itemsize, rows * cols_per * itemsize
+        ).view(np_dtype).reshape(rows, cols_per)
+        out[:, i * rows : (i + 1) * rows] = blk.T
+    yield from ctx.node.copy_work(rows * n * itemsize, p, "transpose-local")
+    ctx.node.memory.free(scratch)

@@ -1,0 +1,32 @@
+"""Benchmark harness: workloads, measurement runners, reporting.
+
+One function per data figure of the paper lives in
+:mod:`repro.bench.figures`; the ``benchmarks/`` directory wraps them in
+pytest-benchmark targets and asserts the reproduced shapes.
+"""
+
+from repro.bench.workloads import column_vector, fig10_struct
+from repro.bench.runner import (
+    measure_alltoall,
+    measure_bandwidth,
+    measure_contig_pingpong,
+    measure_manual_pingpong,
+    measure_multiple_pingpong,
+    measure_pingpong,
+)
+from repro.bench.report import Series, improvement, print_table, write_csv
+
+__all__ = [
+    "Series",
+    "column_vector",
+    "fig10_struct",
+    "improvement",
+    "measure_alltoall",
+    "measure_bandwidth",
+    "measure_contig_pingpong",
+    "measure_manual_pingpong",
+    "measure_multiple_pingpong",
+    "measure_pingpong",
+    "print_table",
+    "write_csv",
+]

@@ -1,0 +1,96 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig08 fig09          # specific figures
+    python -m repro.bench all                  # everything (several minutes)
+    python -m repro.bench fig08 --cols 64 2048 # restricted sweep
+    python -m repro.bench overlap              # Figure-3 overlap analysis
+
+Tables print to stdout; CSVs land in ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import ablations, figures
+from repro.bench.overlap import measure_overlap
+from repro.bench.workloads import column_vector
+
+FIGURES = {
+    "fig02": figures.fig02,
+    "fig08": figures.fig08,
+    "fig09": figures.fig09,
+    "fig11": figures.fig11,
+    "fig12": figures.fig12,
+    "fig13": figures.fig13,
+    "fig14": figures.fig14,
+}
+
+ABLATIONS = {
+    "segment-size": ablations.segment_size,
+    "registration": ablations.registration_strategies,
+    "dtcache": ablations.datatype_cache,
+    "adaptive": ablations.adaptive_vs_fixed,
+    "prrs": ablations.prrs_vs_rwgup,
+    "hybrid": ablations.hybrid_bimodal,
+    "network": ablations.network_presets,
+    "window": ablations.window_sweep,
+    "eager-threshold": ablations.eager_threshold,
+}
+
+
+def _run_overlap(cols: int = 1024) -> None:
+    w = column_vector(cols)
+    print(
+        f"\nOverlap analysis (Figure 3), single {w.nbytes >> 10} KB vector "
+        f"message, {cols} columns:"
+    )
+    for scheme in ("generic", "bc-spup", "rwg-up", "multi-w"):
+        print(" ", measure_overlap(scheme, w.datatype).describe())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures on the "
+        "simulated InfiniBand cluster.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        choices=sorted(FIGURES) + sorted(ABLATIONS) + ["all", "ablations", "overlap"],
+        help="figures or ablations to regenerate",
+    )
+    parser.add_argument(
+        "--cols",
+        type=int,
+        nargs="+",
+        default=None,
+        help="restrict the column sweep (figures 2, 8, 9, 12, 13, 14)",
+    )
+    args = parser.parse_args(argv)
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = sorted(FIGURES) + sorted(ABLATIONS) + ["overlap"]
+    elif "ablations" in targets:
+        targets = [t for t in targets if t != "ablations"] + sorted(ABLATIONS)
+    for target in targets:
+        if target == "overlap":
+            _run_overlap()
+            continue
+        if target in ABLATIONS:
+            ABLATIONS[target]()
+            continue
+        fn = FIGURES[target]
+        if args.cols and target != "fig11":
+            fn(tuple(args.cols))
+        else:
+            fn()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Ablation sweeps beyond the paper's figures.
+
+Each quantifies a design choice the paper discusses qualitatively:
+
+* :func:`segment_size` — BC-SPUP's segment-size tuning ("Tuning on the
+  segment size is quite important", Section 7.2).
+* :func:`registration_strategies` — OGR vs the two "simple schemes" of
+  Section 5.4.1 (per-block and whole-buffer registration), measured
+  end-to-end through RWG-UP in the worst-case (no-cache) configuration.
+* :func:`datatype_cache` — Multi-W with and without the Section 5.4.2
+  receiver-datatype cache.
+* :func:`adaptive_vs_fixed` — the Section 6 selector against every fixed
+  scheme in each block-size regime.
+* :func:`prrs_vs_rwgup` — the comparison the paper argues qualitatively
+  in Section 5.2 but never measures (P-RRS was not implemented there).
+* :func:`network_presets` — how the scheme ranking shifts when the wire
+  is much faster or much slower than memcpy (the Section 1 premise).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bench.report import Series, print_table, write_csv
+from repro.bench.runner import measure_bandwidth, measure_pingpong
+from repro.bench.workloads import column_vector
+from repro.ib.costmodel import CostModel
+
+__all__ = [
+    "adaptive_vs_fixed",
+    "datatype_cache",
+    "hybrid_bimodal",
+    "network_presets",
+    "prrs_vs_rwgup",
+    "registration_strategies",
+    "eager_threshold",
+    "segment_size",
+    "window_sweep",
+]
+
+
+def _cached(fn):
+    return functools.lru_cache(maxsize=None)(fn)
+
+
+@_cached
+def segment_size(cols: int = 1024):
+    """BC-SPUP latency and bandwidth across segment sizes (one message
+    size; the paper's static rule picks 128 KB)."""
+    sizes = [8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024]
+    w = column_vector(cols)
+    lat = Series("latency")
+    bw = Series("bandwidth")
+    for size in sizes:
+        opts = {"segment_size": size}
+        lat.y.append(measure_pingpong("bc-spup", w.datatype, scheme_options=opts))
+        bw.y.append(measure_bandwidth("bc-spup", w.datatype, scheme_options=opts))
+    print_table(
+        f"Ablation: BC-SPUP segment size ({w.nbytes >> 10} KB message)",
+        "segment (B)", sizes, [lat], unit="us",
+    )
+    print_table(
+        "  ... and streaming bandwidth",
+        "segment (B)", sizes, [bw], unit="MB/s",
+    )
+    write_csv("results/ablation_segment_size.csv", "segment_bytes", sizes, [lat, bw])
+    return sizes, {"latency": lat, "bandwidth": bw}
+
+
+@_cached
+def registration_strategies(columns: tuple = (64, 256, 1024, 2048)):
+    """RWG-UP latency under the three registration strategies, with the
+    pin-down cache disabled so every operation pays registration."""
+    cols = list(columns)
+    out = {m: Series(m) for m in ("ogr", "per-block", "whole")}
+    for c in cols:
+        w = column_vector(c)
+        for mode in out:
+            out[mode].y.append(
+                measure_pingpong(
+                    "rwg-up",
+                    w.datatype,
+                    cluster_kwargs={"reg_cache_bytes": 0},
+                    scheme_options={"registration_mode": mode},
+                )
+            )
+    series = list(out.values())
+    print_table(
+        "Ablation: user-buffer registration strategy (RWG-UP, no pin-down "
+        "cache; Section 5.4.1)",
+        "cols", cols, series, unit="us", baseline="per-block",
+    )
+    write_csv("results/ablation_registration.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def datatype_cache(columns: tuple = (128, 512, 2048)):
+    """Multi-W latency with/without the receiver-datatype cache.
+
+    Without the cache the receiver re-ships the full flattened layout
+    (16 B per block) in every rendezvous reply.
+    """
+    cols = list(columns)
+    out = {
+        "cached": Series("with datatype cache"),
+        "uncached": Series("without datatype cache"),
+    }
+    for c in cols:
+        w = column_vector(c)
+        out["cached"].y.append(measure_pingpong("multi-w", w.datatype))
+        out["uncached"].y.append(
+            measure_pingpong(
+                "multi-w", w.datatype, scheme_options={"use_dtype_cache": False}
+            )
+        )
+    series = list(out.values())
+    print_table(
+        "Ablation: Multi-W receiver-datatype cache (Section 5.4.2)",
+        "cols", cols, series, unit="us", baseline="without datatype cache",
+    )
+    write_csv("results/ablation_dtcache.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def adaptive_vs_fixed(columns: tuple = (16, 64, 256, 1024, 2048)):
+    """The Section 6 selector against every fixed scheme."""
+    cols = list(columns)
+    schemes = ("generic", "bc-spup", "rwg-up", "multi-w", "adaptive")
+    out = {s: Series(s) for s in schemes}
+    for c in cols:
+        w = column_vector(c)
+        for s in schemes:
+            out[s].y.append(measure_pingpong(s, w.datatype))
+    series = list(out.values())
+    print_table(
+        "Ablation: adaptive scheme selection vs fixed schemes (Section 6)",
+        "cols", cols, series, unit="us", baseline="generic",
+    )
+    write_csv("results/ablation_adaptive.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def prrs_vs_rwgup(columns: tuple = (64, 256, 1024, 2048)):
+    """P-RRS vs RWG-UP — the paper's Section 5.2 prediction, measured."""
+    cols = list(columns)
+    out = {"rwg-up": Series("RWG-UP"), "p-rrs": Series("P-RRS")}
+    for c in cols:
+        w = column_vector(c)
+        for s in out:
+            out[s].y.append(measure_pingpong(s, w.datatype))
+    series = list(out.values())
+    print_table(
+        "Ablation: Pack + RDMA Read Scatter vs RDMA Write Gather + Unpack "
+        "(Section 5.2)",
+        "cols", cols, series, unit="us", baseline="RWG-UP",
+    )
+    write_csv("results/ablation_prrs.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def eager_threshold(
+    thresholds: tuple = (2048, 8192, 32768),
+    columns: tuple = (2, 8, 16, 32, 64, 128),
+):
+    """Latency across the eager/rendezvous switchover.
+
+    The classic MPI tuning knob: eager buys one staging copy per side
+    but no handshake; rendezvous pays the handshake but pipelines.  The
+    sweep shows where each threshold places the seam for the paper's
+    vector workload (BC-SPUP rendezvous path).
+    """
+    cols = list(columns)
+    out = {t: Series(f"thr={t >> 10}KB") for t in thresholds}
+    for c in cols:
+        w = column_vector(c)
+        for t in thresholds:
+            cm = CostModel.mellanox_2003().with_overrides(eager_threshold=t)
+            out[t].y.append(
+                measure_pingpong("bc-spup", w.datatype, cluster_kwargs={"cost_model": cm})
+            )
+    series = list(out.values())
+    print_table(
+        "Ablation: eager/rendezvous threshold (vector ping-pong, us)",
+        "cols", cols, series, unit="us",
+    )
+    write_csv("results/ablation_eager_threshold.csv", "cols", cols, series)
+    return cols, {t: out[t] for t in thresholds}
+
+
+@_cached
+def window_sweep(cols: int = 512, windows: tuple = (1, 2, 4, 8, 16, 32, 100)):
+    """Bandwidth vs. the number of messages in flight.
+
+    The paper's bandwidth test fixes a 100-message window; this sweep
+    shows how much of that number is pipeline depth (latency hiding) vs
+    steady-state throughput — and where the pre-registered pools start
+    falling back to dynamic buffers.
+    """
+    w = column_vector(cols)
+    out = {
+        "bc-spup": Series("bc-spup"),
+        "multi-w": Series("multi-w"),
+    }
+    for win in windows:
+        for s in out:
+            out[s].y.append(
+                measure_bandwidth(s, w.datatype, window=win, warmup_windows=1)
+            )
+    series = list(out.values())
+    print_table(
+        f"Ablation: bandwidth vs window depth ({w.nbytes >> 10} KB messages)",
+        "window", list(windows), series, unit="MB/s",
+    )
+    write_csv("results/ablation_window.csv", "window", list(windows), series)
+    return list(windows), out
+
+
+def _bimodal(tiny: int, huge: int):
+    """``tiny`` 64-byte blocks plus ``huge`` 128 KB blocks — the workload
+    where per-piece selection pays."""
+    from repro.datatypes import INT, hindexed
+
+    lengths, disps, pos = [], [], 0
+    for _ in range(tiny):
+        lengths.append(16)
+        disps.append(pos)
+        pos += 16 * 4 + 16
+    pos = (pos + 4095) // 4096 * 4096
+    for _ in range(huge):
+        lengths.append(32768)
+        disps.append(pos)
+        pos += 32768 * 4 + 4096
+    return hindexed(lengths, disps, INT)
+
+
+@_cached
+def hybrid_bimodal(tiny_counts: tuple = (128, 512, 2048), huge: int = 6):
+    """The Section 10 future-work extension measured: per-piece scheme
+    selection on bimodal datatypes, against every fixed scheme."""
+    xs = list(tiny_counts)
+    schemes = ("generic", "bc-spup", "rwg-up", "multi-w", "hybrid")
+    out = {s: Series(s) for s in schemes}
+    for tiny in xs:
+        dt = _bimodal(tiny, huge)
+        for s in schemes:
+            out[s].y.append(measure_pingpong(s, dt, iters=3))
+    series = [out[s] for s in schemes]
+    print_table(
+        f"Extension: per-piece hybrid on bimodal datatypes "
+        f"({huge} x 128 KB blocks + N x 64 B blocks)",
+        "tiny blocks", xs, series, unit="us", baseline="generic",
+    )
+    write_csv("results/ablation_hybrid.csv", "tiny_blocks", xs, series)
+    return xs, out
+
+
+@_cached
+def network_presets(cols: int = 1024):
+    """Scheme ranking under different wire/memcpy ratios."""
+    presets = {
+        "testbed": CostModel.mellanox_2003(),
+        "fast-wire": CostModel.fast_network(),
+        "slow-wire": CostModel.slow_network(),
+    }
+    schemes = ("generic", "bc-spup", "rwg-up", "multi-w")
+    w = column_vector(cols)
+    out = {s: Series(s) for s in schemes}
+    names = list(presets)
+    for name in names:
+        cm = presets[name]
+        for s in schemes:
+            out[s].y.append(
+                measure_pingpong(s, w.datatype, cluster_kwargs={"cost_model": cm})
+            )
+    series = [out[s] for s in schemes]
+    print_table(
+        f"Ablation: network presets ({w.nbytes >> 10} KB vector message)",
+        "preset", names, series, unit="us", baseline="generic",
+    )
+    write_csv("results/ablation_network.csv", "preset", names, series)
+    return names, out

@@ -1,0 +1,221 @@
+"""One sweep function per data figure of the paper.
+
+Each function runs the figure's full parameter sweep, prints the table,
+writes ``results/figNN.csv``, and returns ``(x_values, {name: Series})``
+so benchmark assertions can check the reproduced shape.  Figures 1, 3-7
+and 10 in the paper are diagrams and have no data to regenerate.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional, Sequence
+
+from repro.bench.report import Series, print_table, write_csv
+from repro.bench.runner import (
+    measure_alltoall,
+    measure_bandwidth,
+    measure_contig_pingpong,
+    measure_manual_pingpong,
+    measure_multiple_pingpong,
+    measure_pingpong,
+)
+from repro.bench.workloads import column_vector, fig10_struct
+
+__all__ = ["fig02", "fig08", "fig09", "fig11", "fig12", "fig13", "fig14"]
+
+#: the paper's column sweep (Figures 2, 8, 9: 1 to 2048 columns)
+COLUMNS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+#: Figure 11's last-block sweep (2048 to 131072 integers)
+LAST_BLOCKS = [2048, 4096, 8192, 16384, 32768, 65536, 131072]
+
+#: the worst-case configuration of Figure 14 and Section 8.6
+WORST_CASE = {"reg_cache_bytes": 0, "staging_pools": False}
+
+
+def _cached(fn):
+    return functools.lru_cache(maxsize=None)(fn)
+
+
+@_cached
+def fig02(columns: Optional[tuple] = None):
+    """Figure 2: the motivating example — Datatype vs Manual vs Multiple
+    vs DT+reg vs Contig ping-pong latency."""
+    cols = list(columns or COLUMNS)
+    out = {
+        "Contig": Series("Contig"),
+        "Datatype": Series("Datatype"),
+        "DT+reg": Series("DT+reg"),
+        "Manual": Series("Manual"),
+        "Multiple": Series("Multiple"),
+    }
+    for c in cols:
+        w = column_vector(c)
+        out["Contig"].y.append(measure_contig_pingpong(w.nbytes, scheme="generic"))
+        out["Datatype"].y.append(measure_pingpong("generic", w.datatype))
+        out["DT+reg"].y.append(
+            measure_pingpong(
+                "generic", w.datatype, scheme_options={"fresh_buffers": True}
+            )
+        )
+        out["Manual"].y.append(measure_manual_pingpong(w.datatype))
+        out["Multiple"].y.append(measure_multiple_pingpong(w.datatype))
+    series = list(out.values())
+    print_table(
+        "Figure 2: vector datatype transfer latency (us), 128x[cols] of a "
+        "128x4096 int array",
+        "cols", cols, series, unit="us", baseline="Contig",
+    )
+    write_csv("results/fig02.csv", "cols", cols, series)
+    return cols, out
+
+
+_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
+_LABEL = {
+    "generic": "Generic",
+    "bc-spup": "BC-SPUP",
+    "rwg-up": "RWG-UP",
+    "multi-w": "Multi-W",
+}
+
+
+@_cached
+def fig08(columns: Optional[tuple] = None):
+    """Figure 8: ping-pong latency of the four schemes."""
+    cols = list(columns or COLUMNS)
+    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
+    for c in cols:
+        w = column_vector(c)
+        for s in _SCHEMES:
+            out[s].y.append(measure_pingpong(s, w.datatype))
+    series = [out[s] for s in _SCHEMES]
+    print_table(
+        "Figure 8: datatype ping-pong latency (us)",
+        "cols", cols, series, unit="us", baseline="Generic",
+    )
+    write_csv("results/fig08.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def fig09(columns: Optional[tuple] = None):
+    """Figure 9: streaming bandwidth (100-message window) in MB/s."""
+    cols = list(columns or COLUMNS)
+    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
+    for c in cols:
+        w = column_vector(c)
+        for s in _SCHEMES:
+            out[s].y.append(measure_bandwidth(s, w.datatype))
+    series = [out[s] for s in _SCHEMES]
+    print_table(
+        "Figure 9: datatype streaming bandwidth (MB/s)",
+        "cols", cols, series, unit="MB/s", baseline="Generic",
+    )
+    write_csv("results/fig09.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def fig11(last_blocks: Optional[tuple] = None, nranks: int = 8):
+    """Figure 11: MPI_Alltoall with the Figure 10 struct datatype on 8
+    processes."""
+    xs = list(last_blocks or LAST_BLOCKS)
+    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
+    for last in xs:
+        w = fig10_struct(last)
+        for s in _SCHEMES:
+            out[s].y.append(measure_alltoall(s, w.datatype, nranks=nranks))
+    series = [out[s] for s in _SCHEMES]
+    print_table(
+        f"Figure 11: MPI_Alltoall time (us), {nranks} processes, struct "
+        "datatype of Figure 10",
+        "last block (ints)", xs, series, unit="us", baseline="Generic",
+    )
+    write_csv("results/fig11.csv", "last_block_ints", xs, series)
+    return xs, out
+
+
+@_cached
+def fig12(columns: Optional[tuple] = None):
+    """Figure 12: effect of segment unpack on RWG-UP bandwidth."""
+    cols = list(columns or tuple(c for c in COLUMNS if c >= 16))
+    out = {
+        "seg-unpack": Series("RWG-UP w/ segment unpack"),
+        "whole-unpack": Series("RWG-UP w/o segment unpack"),
+    }
+    for c in cols:
+        w = column_vector(c)
+        out["seg-unpack"].y.append(
+            measure_bandwidth(
+                "rwg-up", w.datatype, scheme_options={"segment_unpack": True}
+            )
+        )
+        out["whole-unpack"].y.append(
+            measure_bandwidth(
+                "rwg-up", w.datatype, scheme_options={"segment_unpack": False}
+            )
+        )
+    series = list(out.values())
+    print_table(
+        "Figure 12: RWG-UP bandwidth (MB/s), segment unpack vs whole-message "
+        "unpack",
+        "cols", cols, series, unit="MB/s", baseline="RWG-UP w/o segment unpack",
+    )
+    write_csv("results/fig12.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def fig13(columns: Optional[tuple] = None):
+    """Figure 13: effect of list descriptor post on Multi-W bandwidth."""
+    cols = list(columns or tuple(c for c in COLUMNS if c >= 4))
+    out = {
+        "list": Series("Multi-W list post"),
+        "single": Series("Multi-W single post"),
+    }
+    for c in cols:
+        w = column_vector(c)
+        out["list"].y.append(
+            measure_bandwidth(
+                "multi-w", w.datatype, scheme_options={"list_post": True}
+            )
+        )
+        out["single"].y.append(
+            measure_bandwidth(
+                "multi-w", w.datatype, scheme_options={"list_post": False}
+            )
+        )
+    series = list(out.values())
+    print_table(
+        "Figure 13: Multi-W bandwidth (MB/s), list descriptor post vs "
+        "single post",
+        "cols", cols, series, unit="MB/s", baseline="Multi-W single post",
+    )
+    write_csv("results/fig13.csv", "cols", cols, series)
+    return cols, out
+
+
+@_cached
+def fig14(columns: Optional[tuple] = None):
+    """Figure 14: worst-case buffer usage — every operation allocates,
+    registers and deregisters on the fly (no pin-down cache, no
+    pre-registered pools)."""
+    cols = list(columns or COLUMNS)
+    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
+    for c in cols:
+        w = column_vector(c)
+        for s in _SCHEMES:
+            opts = {"fresh_buffers": True} if s == "generic" else None
+            out[s].y.append(
+                measure_pingpong(
+                    s, w.datatype, cluster_kwargs=WORST_CASE, scheme_options=opts
+                )
+            )
+    series = [out[s] for s in _SCHEMES]
+    print_table(
+        "Figure 14: ping-pong latency (us) in the worst case of buffer usage "
+        "(on-the-fly registration everywhere)",
+        "cols", cols, series, unit="us", baseline="Generic",
+    )
+    write_csv("results/fig14.csv", "cols", cols, series)
+    return cols, out

@@ -1,0 +1,78 @@
+"""Reporting helpers: aligned tables, improvement factors, CSV output."""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Series", "improvement", "print_table", "write_csv"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: y values over shared x values."""
+
+    name: str
+    y: list[float] = field(default_factory=list)
+
+
+def improvement(baseline: Sequence[float], other: Sequence[float]) -> list[float]:
+    """Element-wise improvement factor of ``other`` over ``baseline``.
+
+    For latency series pass (generic, scheme) -> generic/scheme;
+    for bandwidth series pass (scheme, generic) inverted by the caller.
+    """
+    return [b / o if o else float("inf") for b, o in zip(baseline, other)]
+
+
+def print_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Iterable[Series],
+    unit: str = "us",
+    baseline: Optional[str] = None,
+) -> str:
+    """Render (and return) an aligned text table; one row per x value.
+
+    When ``baseline`` names one of the series, improvement-factor columns
+    (baseline / series) are appended for every other series.
+    """
+    series = list(series)
+    base = next((s for s in series if s.name == baseline), None)
+    header = [x_label] + [f"{s.name} ({unit})" for s in series]
+    if base is not None:
+        header += [f"{s.name} vs {base.name}" for s in series if s is not base]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)] + [f"{s.y[i]:.1f}" for s in series]
+        if base is not None:
+            for s in series:
+                if s is base:
+                    continue
+                if unit.lower().startswith("mb"):  # higher is better
+                    row.append(f"{s.y[i] / base.y[i]:.2f}x")
+                else:  # lower is better
+                    row.append(f"{base.y[i] / s.y[i]:.2f}x")
+        rows.append(row)
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text
+
+
+def write_csv(path: str, x_label: str, x_values: Sequence, series: Iterable[Series]) -> None:
+    """Write the series to a CSV file (directories created as needed)."""
+    series = list(series)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label] + [s.name for s in series])
+        for i, x in enumerate(x_values):
+            writer.writerow([x] + [s.y[i] for s in series])

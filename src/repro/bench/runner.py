@@ -1,0 +1,274 @@
+"""Measurement runners: ping-pong latency, streaming bandwidth, alltoall.
+
+All functions build a fresh :class:`~repro.mpi.world.Cluster`, run the
+benchmark's rank programs, and return **simulated** microseconds (or MB/s
+derived from them).  Warmup iterations absorb one-time costs (first-touch
+registration, pool growth, datatype-cache fill), exactly as a real
+benchmark's warmup loop amortizes them on hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.datatypes import Datatype, contiguous, INT, BYTE
+from repro.ib.costmodel import MB
+from repro.mpi.world import Cluster
+
+__all__ = [
+    "measure_alltoall",
+    "measure_bandwidth",
+    "measure_contig_pingpong",
+    "measure_manual_pingpong",
+    "measure_multiple_pingpong",
+    "measure_pingpong",
+]
+
+_BENCH_MEMORY = 512 * MB
+
+
+def _make_cluster(scheme, cluster_kwargs, scheme_options, nranks=2) -> Cluster:
+    kwargs = dict(memory_per_rank=_BENCH_MEMORY)
+    kwargs.update(cluster_kwargs or {})
+    return Cluster(
+        nranks, scheme=scheme, scheme_options=scheme_options or {}, **kwargs
+    )
+
+
+def _span(dt: Datatype, count: int = 1) -> int:
+    return dt.flatten(count).span + abs(dt.lb) + 64
+
+
+# ----------------------------------------------------------------------
+# ping-pong latency
+# ----------------------------------------------------------------------
+
+def measure_pingpong(
+    scheme: str,
+    dt: Datatype,
+    *,
+    count: int = 1,
+    iters: int = 5,
+    warmup: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+    scheme_options: Optional[dict] = None,
+) -> float:
+    """One-way datatype ping-pong latency in simulated microseconds."""
+
+    def rank0(mpi):
+        buf = mpi.alloc(_span(dt, count))
+        t0 = None
+        for i in range(warmup + iters):
+            if i == warmup:
+                t0 = mpi.now
+            yield from mpi.send(buf, dt, count, dest=1, tag=0)
+            yield from mpi.recv(buf, dt, count, source=1, tag=1)
+        return (mpi.now - t0) / iters / 2
+
+    def rank1(mpi):
+        buf = mpi.alloc(_span(dt, count))
+        for _ in range(warmup + iters):
+            yield from mpi.recv(buf, dt, count, source=0, tag=0)
+            yield from mpi.send(buf, dt, count, dest=0, tag=1)
+
+    cluster = _make_cluster(scheme, cluster_kwargs, scheme_options)
+    return cluster.run([rank0, rank1]).values[0]
+
+
+def measure_contig_pingpong(
+    nbytes: int,
+    *,
+    scheme: str = "bc-spup",
+    iters: int = 5,
+    warmup: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+) -> float:
+    """Contiguous-transfer ping-pong of the same byte count ("Contig")."""
+    dt = contiguous(nbytes, BYTE)
+    return measure_pingpong(
+        scheme, dt, iters=iters, warmup=warmup, cluster_kwargs=cluster_kwargs
+    )
+
+
+def measure_manual_pingpong(
+    dt: Datatype,
+    *,
+    scheme: str = "generic",
+    iters: int = 5,
+    warmup: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+) -> float:
+    """The paper's "Manual" strategy: the application packs into its own
+    contiguous buffer, sends contiguously, and unpacks by hand."""
+    contig = contiguous(dt.size, BYTE)
+
+    def rank0(mpi):
+        buf = mpi.alloc(_span(dt))
+        stage = mpi.alloc(max(dt.size, 1))
+        t0 = None
+        for i in range(warmup + iters):
+            if i == warmup:
+                t0 = mpi.now
+            yield from mpi.user_pack(buf, dt, 1, stage)
+            yield from mpi.send(stage, contig, 1, dest=1, tag=0)
+            yield from mpi.recv(stage, contig, 1, source=1, tag=1)
+            yield from mpi.user_unpack(buf, dt, 1, stage)
+        return (mpi.now - t0) / iters / 2
+
+    def rank1(mpi):
+        buf = mpi.alloc(_span(dt))
+        stage = mpi.alloc(max(dt.size, 1))
+        for _ in range(warmup + iters):
+            yield from mpi.recv(stage, contig, 1, source=0, tag=0)
+            yield from mpi.user_unpack(buf, dt, 1, stage)
+            yield from mpi.user_pack(buf, dt, 1, stage)
+            yield from mpi.send(stage, contig, 1, dest=0, tag=1)
+
+    cluster = _make_cluster(scheme, cluster_kwargs, None)
+    return cluster.run([rank0, rank1]).values[0]
+
+
+def measure_multiple_pingpong(
+    dt: Datatype,
+    *,
+    scheme: str = "generic",
+    iters: int = 3,
+    warmup: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+) -> float:
+    """The paper's "Multiple" strategy: one MPI call per contiguous block
+    ("transfers each contiguous block one by one using individual MPI
+    calls")."""
+    flat = dt.flatten(1)
+    blocks = list(flat.blocks())
+
+    def rank0(mpi):
+        buf = mpi.alloc(_span(dt))
+        t0 = None
+        for i in range(warmup + iters):
+            if i == warmup:
+                t0 = mpi.now
+            reqs = []
+            for k, (off, ln) in enumerate(blocks):
+                r = yield from mpi.isend(
+                    buf + off, contiguous(ln, BYTE), 1, dest=1, tag=k
+                )
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            # wait for the pong (a single small ack models the reverse
+            # direction of the ping-pong at equal cost per block)
+            reqs = []
+            for k, (off, ln) in enumerate(blocks):
+                r = yield from mpi.irecv(
+                    buf + off, contiguous(ln, BYTE), 1, source=1, tag=k
+                )
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+        return (mpi.now - t0) / iters / 2
+
+    def rank1(mpi):
+        buf = mpi.alloc(_span(dt))
+        for _ in range(warmup + iters):
+            reqs = []
+            for k, (off, ln) in enumerate(blocks):
+                r = yield from mpi.irecv(
+                    buf + off, contiguous(ln, BYTE), 1, source=0, tag=k
+                )
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            reqs = []
+            for k, (off, ln) in enumerate(blocks):
+                r = yield from mpi.isend(
+                    buf + off, contiguous(ln, BYTE), 1, dest=0, tag=k
+                )
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+
+    cluster = _make_cluster(scheme, cluster_kwargs, None)
+    return cluster.run([rank0, rank1]).values[0]
+
+
+# ----------------------------------------------------------------------
+# streaming bandwidth
+# ----------------------------------------------------------------------
+
+def measure_bandwidth(
+    scheme: str,
+    dt: Datatype,
+    *,
+    count: int = 1,
+    window: int = 100,
+    warmup_windows: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+    scheme_options: Optional[dict] = None,
+) -> float:
+    """Streaming bandwidth in MB/s (MB = 2**20 bytes, per the paper).
+
+    The paper's test: "The sender pushes 100 consecutive datatype
+    messages and then waits for a reply from the receiver when all
+    messages have been received."
+    """
+    nbytes = dt.size * count
+    ackdt = contiguous(1, INT)
+
+    def rank0(mpi):
+        buf = mpi.alloc(_span(dt, count))
+        ack = mpi.alloc(8)
+        t0 = None
+        for w in range(warmup_windows + 1):
+            if w == warmup_windows:
+                t0 = mpi.now
+            reqs = []
+            for k in range(window):
+                r = yield from mpi.isend(buf, dt, count, dest=1, tag=k)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            yield from mpi.recv(ack, ackdt, 1, source=1, tag=99999)
+        return mpi.now - t0
+
+    def rank1(mpi):
+        buf = mpi.alloc(_span(dt, count))
+        ack = mpi.alloc(8)
+        for _w in range(warmup_windows + 1):
+            reqs = []
+            for k in range(window):
+                r = yield from mpi.irecv(buf, dt, count, source=0, tag=k)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            yield from mpi.send(ack, ackdt, 1, dest=0, tag=99999)
+
+    cluster = _make_cluster(scheme, cluster_kwargs, scheme_options)
+    elapsed_us = cluster.run([rank0, rank1]).values[0]
+    total_bytes = nbytes * window
+    return (total_bytes / MB) / (elapsed_us / 1e6)
+
+
+# ----------------------------------------------------------------------
+# MPI_Alltoall
+# ----------------------------------------------------------------------
+
+def measure_alltoall(
+    scheme: str,
+    dt: Datatype,
+    *,
+    nranks: int = 8,
+    iters: int = 3,
+    warmup: int = 1,
+    cluster_kwargs: Optional[dict] = None,
+    scheme_options: Optional[dict] = None,
+) -> float:
+    """Average MPI_Alltoall completion time (simulated us)."""
+
+    def program(mpi):
+        send = mpi.alloc(nranks * dt.extent + 64)
+        recv = mpi.alloc(nranks * dt.extent + 64)
+        t0 = None
+        for i in range(warmup + iters):
+            if i == warmup:
+                t0 = mpi.now
+            yield from mpi.alltoall(send, dt, 1, recv, dt, 1)
+        return (mpi.now - t0) / iters
+
+    cluster = _make_cluster(scheme, cluster_kwargs, scheme_options, nranks=nranks)
+    return max(cluster.run(program).values)

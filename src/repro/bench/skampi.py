@@ -1,0 +1,115 @@
+"""SKaMPI-style synthetic datatype patterns (Reussner et al. [25]).
+
+The paper notes "SKaMPI provides benchmark[s] for MPI derived datatypes.
+The test datatypes are synthetic and most parameters are defined by
+users."  This module provides that style of pattern generator — a fixed
+total payload laid out in structurally different ways — so the schemes
+can be compared across datatype *shapes* rather than just sizes:
+
+* ``contig``          one block (the baseline shape),
+* ``vector-small``    many tiny blocks,
+* ``vector-large``    few big blocks,
+* ``nested``          a vector of vectors (tests recursive flattening),
+* ``struct-mixed``    alternating int/double runs with gaps,
+* ``indexed-random``  irregular blocks from a seeded RNG,
+* ``sparse-resized``  a resized type tiling data thinly over a big extent.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.bench.report import Series, print_table, write_csv
+from repro.bench.runner import measure_pingpong
+from repro.datatypes import (
+    DOUBLE,
+    INT,
+    Datatype,
+    contiguous,
+    hindexed,
+    resized,
+    struct,
+    vector,
+)
+
+__all__ = ["PATTERNS", "make_pattern", "skampi_sweep"]
+
+#: total payload of every pattern, in bytes
+TOTAL_BYTES = 256 * 1024
+
+
+def make_pattern(name: str, total_bytes: int = TOTAL_BYTES) -> Datatype:
+    """Build the named pattern carrying ``total_bytes`` of data."""
+    ints = total_bytes // 4
+    if name == "contig":
+        return contiguous(ints, INT)
+    if name == "vector-small":
+        # 32-byte blocks, half-dense
+        return vector(ints // 8, 8, 16, INT)
+    if name == "vector-large":
+        # 16 KB blocks, half-dense
+        return vector(total_bytes // 16384, 4096, 8192, INT)
+    if name == "nested":
+        # rows of 64 ints picked every other 64-int run, grouped in
+        # super-rows: a vector whose base is itself a vector
+        inner = vector(4, 64, 128, INT)  # 1 KB data over 2 KB span
+        return vector(total_bytes // 1024, 1, 2, inner)
+    if name == "struct-mixed":
+        # alternating int and double runs with pagey gaps
+        nrep = total_bytes // 2048
+        blocklens = [128, 128]  # 512 B of ints + 1 KB of doubles... per rep
+        one = struct([128, 192], [0, 768], [INT, DOUBLE])
+        assert one.size == 128 * 4 + 192 * 8
+        reps = total_bytes // one.size
+        return contiguous(reps, resized(one, 0, one.extent + 256))
+    if name == "indexed-random":
+        import numpy as np
+
+        rng = np.random.default_rng(20040101)
+        lengths, disps, pos, left = [], [], 0, ints
+        while left > 0:
+            ln = int(rng.integers(1, min(512, left) + 1))
+            pos += int(rng.integers(0, 256))
+            lengths.append(ln)
+            disps.append(pos)
+            pos += ln * 4
+            left -= ln
+        return hindexed(lengths, disps, INT)
+    if name == "sparse-resized":
+        # 256-byte runs spread out 4 KB apart
+        one = resized(contiguous(64, INT), 0, 4096)
+        return contiguous(total_bytes // 256, one)
+    raise ValueError(f"unknown pattern {name!r}")
+
+
+PATTERNS = (
+    "contig",
+    "vector-small",
+    "vector-large",
+    "nested",
+    "struct-mixed",
+    "indexed-random",
+    "sparse-resized",
+)
+
+_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w", "adaptive")
+
+
+@functools.lru_cache(maxsize=None)
+def skampi_sweep(total_bytes: int = TOTAL_BYTES):
+    """Latency of every scheme on every pattern; returns (patterns, series)."""
+    out = {s: Series(s) for s in _SCHEMES}
+    shapes = []
+    for name in PATTERNS:
+        dt = make_pattern(name, total_bytes)
+        flat = dt.flatten(1)
+        shapes.append(f"{name} ({flat.nblocks} blk, ~{int(flat.mean_block)} B)")
+        for s in _SCHEMES:
+            out[s].y.append(measure_pingpong(s, dt, iters=3))
+    series = [out[s] for s in _SCHEMES]
+    print_table(
+        f"SKaMPI-style pattern sweep, {total_bytes >> 10} KB payload (us)",
+        "pattern", shapes, series, unit="us", baseline="generic",
+    )
+    write_csv("results/skampi.csv", "pattern", list(PATTERNS), series)
+    return list(PATTERNS), out

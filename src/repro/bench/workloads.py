@@ -1,0 +1,74 @@
+"""The paper's benchmark workloads.
+
+* :func:`column_vector` — the Section 3.2 motivating example: ``x``
+  columns of a 128 x 4096 integer array,
+  ``MPI_Type_vector(128, x, 4096, MPI_INT)``.
+* :func:`fig10_struct` — the Figure 10 struct datatype used in the
+  MPI_Alltoall test (Section 8.3): block sizes grow exponentially from
+  one integer up to ``last_block_ints`` integers, and "the gap between
+  two blocks equals the size of the first [of the two] block[s]".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datatypes import INT, Datatype, struct, vector
+
+__all__ = ["Workload", "column_vector", "fig10_struct"]
+
+#: the paper's array shape (Section 3.2)
+ROWS = 128
+ROW_LEN = 4096
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A datatype plus the descriptive numbers the reports print."""
+
+    name: str
+    datatype: Datatype
+    #: bytes of real data per element
+    nbytes: int
+    #: number of contiguous blocks per element
+    nblocks: int
+    #: size of a typical block in bytes
+    block_bytes: float
+
+
+def column_vector(cols: int, rows: int = ROWS, row_len: int = ROW_LEN) -> Workload:
+    """``cols`` columns of a ``rows x row_len`` int array."""
+    if not 1 <= cols <= row_len:
+        raise ValueError(f"cols must be in [1, {row_len}]")
+    dt = vector(rows, cols, row_len, INT)
+    flat = dt.flatten(1)
+    return Workload(
+        name=f"vector[{rows}x{cols} of {row_len}]",
+        datatype=dt,
+        nbytes=dt.size,
+        nblocks=flat.nblocks,
+        block_bytes=flat.mean_block,
+    )
+
+
+def fig10_struct(last_block_ints: int) -> Workload:
+    """The Figure 10 struct: blocks of 1, 2, 4, ..., ``last_block_ints``
+    integers, each followed by a gap of its own size."""
+    if last_block_ints < 1 or last_block_ints & (last_block_ints - 1):
+        raise ValueError("last_block_ints must be a power of two")
+    lengths, disps, pos = [], [], 0
+    n = 1
+    while n <= last_block_ints:
+        lengths.append(n)
+        disps.append(pos * 4)
+        pos += 2 * n  # block plus an equal-sized gap
+        n *= 2
+    dt = struct(lengths, disps, [INT] * len(lengths))
+    flat = dt.flatten(1)
+    return Workload(
+        name=f"struct[1..{last_block_ints} ints]",
+        datatype=dt,
+        nbytes=dt.size,
+        nblocks=flat.nblocks,
+        block_bytes=flat.mean_block,
+    )

@@ -1,0 +1,61 @@
+"""MPI derived datatype engine.
+
+Implements the MPI type-constructor algebra (contiguous, vector, hvector,
+indexed, hindexed, indexed_block, struct, subarray, resized over the
+primitive types), flattening to merged ``<offset, length>`` block lists
+(Section 5.4.2 of the paper), and **partial datatype processing** — the
+resumable segment cursor that lets a scheme pack or unpack an arbitrary
+byte range of a ``(datatype, count)`` stream (Section 4.3.1; Ross et al.
+[26], Träff et al. [15]).
+
+Typical use::
+
+    from repro.datatypes import INT, vector
+
+    # 7 columns of a 128 x 4096 int array (the paper's Section 3.2 example)
+    dt = vector(count=128, blocklength=7, stride=4096, base=INT)
+    flat = dt.flatten()          # 128 blocks of 28 bytes, 16384 apart
+    assert dt.size == 128 * 7 * 4
+"""
+
+from repro.datatypes.base import Datatype, Primitive
+from repro.datatypes.base import BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, SHORT
+from repro.datatypes.constructors import (
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.datatypes.flatten import Flattened
+from repro.datatypes.segment import SegmentCursor
+from repro.datatypes.pack import pack_bytes, unpack_bytes
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "DOUBLE",
+    "Datatype",
+    "FLOAT",
+    "Flattened",
+    "INT",
+    "LONG",
+    "Primitive",
+    "SHORT",
+    "SegmentCursor",
+    "contiguous",
+    "hindexed",
+    "hvector",
+    "indexed",
+    "indexed_block",
+    "pack_bytes",
+    "resized",
+    "struct",
+    "subarray",
+    "unpack_bytes",
+    "vector",
+]

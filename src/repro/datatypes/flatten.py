@@ -1,0 +1,166 @@
+"""Flattened datatype representation: merged <offset, length> block lists.
+
+The paper (Section 5.4.2) represents a datatype as "a linear list of
+<offset, length> tuples.  Each tuple describes a contiguous block of the
+datatype by its length and by its offset related to the lower bound."
+This is the representation the Multi-W scheme ships to the sender, and the
+structure the segment cursor (partial datatype processing) walks.
+
+Blocks are stored as two parallel ``int64`` numpy arrays so prefix sums
+and binary search (the partial-processing machinery) are vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Flattened"]
+
+#: bytes per <offset, length> tuple in the wire encoding of a flattened
+#: datatype (two 8-byte integers) — used to cost datatype-representation
+#: control messages for Multi-W.
+WIRE_BYTES_PER_BLOCK = 16
+
+
+@dataclass(frozen=True)
+class Flattened:
+    """An immutable, merged block list.
+
+    ``offsets[i]`` is the byte offset of block ``i`` relative to the start
+    of the buffer (the datatype's origin), ``lengths[i]`` its byte length.
+    Invariants (enforced by :meth:`from_blocks`):
+
+    * offsets strictly increasing,
+    * blocks non-overlapping,
+    * no zero-length blocks,
+    * no two adjacent blocks touching (they would have been merged).
+    """
+
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_blocks(cls, blocks: Iterable[tuple[int, int]]) -> "Flattened":
+        """Build from (offset, length) pairs: sort, drop empties, merge
+        adjacent/overlapping-free runs."""
+        pairs = [(int(o), int(l)) for o, l in blocks if l > 0]
+        pairs.sort()
+        merged: list[list[int]] = []
+        for off, length in pairs:
+            if merged and off < merged[-1][0] + merged[-1][1]:
+                raise ValueError(
+                    f"overlapping blocks at offset {off} "
+                    f"(previous block ends at {merged[-1][0] + merged[-1][1]})"
+                )
+            if merged and off == merged[-1][0] + merged[-1][1]:
+                merged[-1][1] += length
+            else:
+                merged.append([off, length])
+        if merged:
+            offs = np.array([m[0] for m in merged], dtype=np.int64)
+            lens = np.array([m[1] for m in merged], dtype=np.int64)
+        else:
+            offs = np.empty(0, dtype=np.int64)
+            lens = np.empty(0, dtype=np.int64)
+        offs.setflags(write=False)
+        lens.setflags(write=False)
+        return cls(offs, lens)
+
+    @classmethod
+    def empty(cls) -> "Flattened":
+        return cls.from_blocks([])
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def size(self) -> int:
+        """Total bytes of real data."""
+        return int(self.lengths.sum())
+
+    @property
+    def span(self) -> int:
+        """Bytes from the first block's start to the last block's end."""
+        if self.nblocks == 0:
+            return 0
+        return int(self.offsets[-1] + self.lengths[-1] - self.offsets[0])
+
+    @property
+    def gap_bytes(self) -> int:
+        """Total bytes of holes between blocks."""
+        return self.span - self.size
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.nblocks <= 1
+
+    @property
+    def min_block(self) -> int:
+        return int(self.lengths.min()) if self.nblocks else 0
+
+    @property
+    def max_block(self) -> int:
+        return int(self.lengths.max()) if self.nblocks else 0
+
+    @property
+    def mean_block(self) -> float:
+        return float(self.lengths.mean()) if self.nblocks else 0.0
+
+    @property
+    def median_block(self) -> float:
+        return float(np.median(self.lengths)) if self.nblocks else 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size of this block list's wire encoding (datatype
+        representation message for Multi-W, Section 5.4.2)."""
+        return self.nblocks * WIRE_BYTES_PER_BLOCK
+
+    # -- derivation -------------------------------------------------------
+
+    def repeat(self, count: int, extent: int) -> "Flattened":
+        """The block list of ``count`` consecutive elements, each shifted
+        by the datatype extent — how (datatype, count) send buffers are
+        laid out."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0 or self.nblocks == 0:
+            return Flattened.empty()
+        if count == 1:
+            return self
+        shifts = np.arange(count, dtype=np.int64) * extent
+        offs = (self.offsets[None, :] + shifts[:, None]).ravel()
+        lens = np.broadcast_to(self.lengths, (count, self.nblocks)).ravel()
+        return Flattened.from_blocks(zip(offs.tolist(), lens.tolist()))
+
+    def shift(self, delta: int) -> "Flattened":
+        """Translate all offsets by ``delta`` bytes."""
+        offs = self.offsets + int(delta)
+        offs.setflags(write=False)
+        return Flattened(offs, self.lengths)
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        """Iterate (offset, length) pairs."""
+        for off, length in zip(self.offsets.tolist(), self.lengths.tolist()):
+            yield off, length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Flattened):
+            return NotImplemented
+        return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.lengths, other.lengths
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.offsets.tobytes(), self.lengths.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Flattened {self.nblocks} blocks, {self.size} bytes>"

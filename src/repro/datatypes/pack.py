@@ -1,0 +1,59 @@
+"""Operational pack/unpack between user buffers and contiguous buffers.
+
+These functions actually move bytes inside a node's simulated address
+space; the *time* cost (datatype processing + copy) is charged by the
+caller via :meth:`repro.ib.costmodel.CostModel.pack_time`, because when
+the cost is paid — and whether it overlaps the wire — is the whole point
+of the paper's schemes.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.segment import SegmentCursor
+from repro.ib.memory import NodeMemory
+
+__all__ = ["pack_bytes", "unpack_bytes"]
+
+
+def pack_bytes(
+    memory: NodeMemory,
+    base_addr: int,
+    cursor: SegmentCursor,
+    lo: int,
+    hi: int,
+    dest_addr: int,
+) -> int:
+    """Pack packed-byte range [lo, hi) of the stream rooted at
+    ``base_addr`` into the contiguous buffer at ``dest_addr``.
+
+    Returns the number of memory blocks visited (for cost accounting).
+    """
+    out = memory.view(dest_addr, hi - lo)
+    pos = 0
+    slices = cursor.slices(lo, hi)
+    for off, length in slices:
+        out[pos : pos + length] = memory.view(base_addr + off, length)
+        pos += length
+    return len(slices)
+
+
+def unpack_bytes(
+    memory: NodeMemory,
+    base_addr: int,
+    cursor: SegmentCursor,
+    lo: int,
+    hi: int,
+    src_addr: int,
+) -> int:
+    """Unpack the contiguous buffer at ``src_addr`` into packed-byte range
+    [lo, hi) of the stream rooted at ``base_addr``.
+
+    Returns the number of memory blocks visited.
+    """
+    src = memory.view(src_addr, hi - lo)
+    pos = 0
+    slices = cursor.slices(lo, hi)
+    for off, length in slices:
+        memory.view(base_addr + off, length)[:] = src[pos : pos + length]
+        pos += length
+    return len(slices)

@@ -1,0 +1,405 @@
+"""The HCA and node model.
+
+A :class:`Node` bundles what one cluster machine contributes to the
+simulation: an address space, a CPU, and an HCA.  The cost structure
+mirrors the real platform:
+
+* The **CPU** is a capacity-1 FIFO resource.  Packing/unpacking, datatype
+  processing, descriptor posting, registration, allocation and protocol
+  handling all serialize on it.  This is what makes overlap (Figure 3)
+  matter: CPU work that the HCA hides behind wire time is free.
+* The **HCA send engine** is a capacity-1 pipeline that drains posted send
+  descriptors in FIFO order.  Each descriptor occupies the engine for
+  ``hca_startup + per_sge + bytes/wire_bandwidth`` — so many small
+  descriptors underutilize the wire (the Multi-W failure mode for small
+  blocks), while one gather descriptor amortizes the startup (the RWG-UP
+  win).
+* Inbound data lands ``wire_latency`` after injection completes.  Target
+  memory writes are performed by the remote HCA's DMA engine and cost no
+  remote CPU — the essence of RDMA.
+
+Data is snapshotted at injection time, moved for real between numpy
+address spaces, and validated against the registration tables, so every
+scheme's output is byte-checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ib.costmodel import CostModel
+from repro.ib.memory import MemoryRegion, NodeMemory
+from repro.ib.verbs import (
+    Completion,
+    CompletionQueue,
+    Opcode,
+    QueuePair,
+    RecvWR,
+    SendWR,
+)
+from repro.simulator import Resource, SimulationError, Simulator, Store, Tracer
+
+__all__ = ["HCA", "Node"]
+
+
+class Node:
+    """One cluster machine: memory + CPU + HCA."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cm: CostModel,
+        memory_capacity: int,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cm = cm
+        self.tracer = tracer or Tracer()
+        self.memory = NodeMemory(node_id, memory_capacity, cm.page_size)
+        self.cpu = Resource(sim, capacity=1, name=f"cpu{node_id}")
+        #: number of HCA DMA streams currently reading/writing this node's
+        #: memory; CPU copies slow down while it is non-zero (memory-bus
+        #: contention, see CostModel.membus_contention)
+        self.dma_active = 0
+        self.hca = HCA(self)
+
+    # -- CPU accounting ------------------------------------------------
+
+    def cpu_work(self, cost: float, tag: str = "cpu"):
+        """Occupy the CPU for ``cost`` microseconds (generator)."""
+        if cost <= 0:
+            return
+        grant = yield self.cpu.acquire()
+        start = self.sim.now
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            self.cpu.release(grant)
+        self.tracer.record(start, self.sim.now, self.node_id, "cpu", tag)
+
+    def copy_work(
+        self, nbytes: int, nblocks: int = 0, tag: str = "copy",
+        penalty: float = 1.0,
+    ):
+        """Occupy the CPU for a copy of ``nbytes`` over ``nblocks``
+        datatype blocks, under current memory-bus contention (generator).
+
+        The datatype-processing portion runs at full speed; the byte-copy
+        portion slows by ``1 + membus_contention * dma_active``, sampled
+        when the CPU is granted (copies are short relative to DMA phases,
+        so start-sampling is a good approximation).  ``penalty`` scales
+        the byte cost further (cache-locality effects, e.g. the deferred
+        whole-message unpack of Figure 12).
+        """
+        grant = yield self.cpu.acquire()
+        start = self.sim.now
+        factor = (1.0 + self.cm.membus_contention * self.dma_active) * penalty
+        if nblocks > 0:
+            overhead = self.cm.pack_time(nbytes, nblocks) - (
+                nbytes / self.cm.copy_bandwidth
+            )
+        else:  # a plain memcpy, no datatype engine involved
+            overhead = self.cm.copy_startup
+        cost = overhead + nbytes * factor / self.cm.copy_bandwidth
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            self.cpu.release(grant)
+        self.tracer.record(start, self.sim.now, self.node_id, "cpu", tag)
+
+    # -- timed memory management ----------------------------------------
+
+    def malloc(self, nbytes: int, align: int = 64, *, charge: bool = True):
+        """Allocate a dynamic buffer, charging malloc + first-touch faults.
+
+        Generator returning the address.
+        """
+        addr = self.memory.alloc(nbytes, align)
+        if charge:
+            yield from self.cpu_work(self.cm.malloc_time(nbytes), "malloc")
+        return addr
+
+    def mfree(self, addr: int, *, charge: bool = True):
+        """Free a dynamic buffer (generator)."""
+        nbytes = self.memory.alloc_size(addr)
+        self.memory.free(addr)
+        if charge:
+            yield from self.cpu_work(self.cm.free_time(nbytes), "free")
+
+    def register(self, addr: int, length: int, *, charge: bool = True):
+        """Register (pin) a region, charging registration time.
+
+        Generator returning the :class:`MemoryRegion`.
+        """
+        if charge:
+            start = self.sim.now
+            yield from self.cpu_work(self.cm.reg_time(length, addr), "register")
+            self.tracer.record(start, self.sim.now, self.node_id, "reg", "reg")
+        return self.memory.register(addr, length)
+
+    def deregister(self, mr: MemoryRegion, *, charge: bool = True):
+        """Deregister (unpin) a region, charging deregistration time."""
+        self.memory.deregister(mr)
+        if charge:
+            start = self.sim.now
+            yield from self.cpu_work(self.cm.dereg_time(mr.length, mr.addr), "deregister")
+            self.tracer.record(start, self.sim.now, self.node_id, "reg", "dereg")
+
+
+class _ReadResponse:
+    """Internal send-engine item: a responder streaming RDMA read data."""
+
+    __slots__ = ("req_qp", "wr", "data")
+
+    def __init__(self, req_qp: QueuePair, wr: SendWR, data: np.ndarray):
+        self.req_qp = req_qp  # requester's QP (destination of the response)
+        self.wr = wr  # the original RDMA_READ work request
+        self.data = data
+
+
+class HCA:
+    """The host channel adapter of one node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim = node.sim
+        self.cm = node.cm
+        self.memory = node.memory
+        self.node_id = node.node_id
+        self._send_queue: Store = Store(self.sim, name=f"hca{self.node_id}.sq")
+        self.sim.process(self._send_engine(), name=f"hca{self.node_id}")
+        #: wire bytes injected, for utilization stats
+        self.bytes_injected = 0
+        self.descriptors_processed = 0
+
+    def create_qp(
+        self,
+        send_cq: Optional[CompletionQueue] = None,
+        recv_cq: Optional[CompletionQueue] = None,
+    ) -> QueuePair:
+        # explicit None checks: an empty CompletionQueue is falsy (__len__)
+        if send_cq is None:
+            send_cq = CompletionQueue(self, f"scq{self.node_id}")
+        if recv_cq is None:
+            recv_cq = CompletionQueue(self, f"rcq{self.node_id}")
+        return QueuePair(self, send_cq, recv_cq)
+
+    def create_cq(self, name: str = "") -> CompletionQueue:
+        return CompletionQueue(self, name or f"cq{self.node_id}")
+
+    # -- send engine -------------------------------------------------------
+
+    def enqueue_send(self, qp: QueuePair, wr: SendWR) -> None:
+        self._send_queue.put((qp, wr))
+
+    def _send_engine(self):
+        """Drain posted descriptors in FIFO order, one at a time."""
+        while True:
+            item = yield self._send_queue.get()
+            if isinstance(item, _ReadResponse):
+                yield from self._stream_read_response(item)
+                continue
+            qp, wr = item
+            if wr.opcode is Opcode.RDMA_READ:
+                yield from self._issue_read_request(qp, wr)
+            else:
+                yield from self._inject(qp, wr)
+
+    def _dma_bracket(self, node: Node, start_delay: float, duration: float) -> None:
+        """Mark ``node``'s memory as having one more DMA stream during
+        [now+start_delay, now+start_delay+duration).
+
+        The increment is synchronous when ``start_delay`` is zero so that
+        CPU copies granted at the same timestamp observe the contention —
+        otherwise event ordering would let a pack sample a stale count.
+        """
+        if duration <= 0:
+            return
+        if start_delay <= 0:
+            node.dma_active += 1
+        else:
+            up = self.sim.event()
+            up.callbacks.append(
+                lambda _e: setattr(node, "dma_active", node.dma_active + 1)
+            )
+            up.succeed(delay=start_delay)
+        down = self.sim.event()
+        down.callbacks.append(lambda _e: setattr(node, "dma_active", node.dma_active - 1))
+        down.succeed(delay=start_delay + duration)
+
+    def _inject(self, qp: QueuePair, wr: SendWR):
+        """Process a SEND / RDMA_WRITE(_IMM) descriptor."""
+        nbytes = wr.byte_len
+        start = self.sim.now
+        occupancy = self.cm.descriptor_time(nbytes, max(1, len(wr.sges)))
+        if wr.sges:
+            # the HCA's gather DMA reads local memory during injection, and
+            # the remote HCA's DMA writes remote memory one latency later
+            self._dma_bracket(self.node, 0.0, occupancy)
+            self._dma_bracket(qp.peer.hca.node, self.cm.wire_latency, occupancy)
+        yield self.sim.timeout(occupancy)
+        self.node.tracer.record(
+            start, self.sim.now, self.node_id, "wire", wr.opcode.value
+        )
+        self.bytes_injected += nbytes
+        self.descriptors_processed += 1
+        # DMA snapshot of the gather list at injection time.
+        data = self._gather(wr)
+        peer = qp.peer
+        # Local completion: the descriptor has left the send queue.
+        if wr.signaled:
+            self._complete_local(qp, wr, nbytes, delay=self.cm.cqe_delay)
+        # Remote delivery after the wire latency; channel semantics pay
+        # the responder's receive-WQE fetch on top (one-sided RDMA does
+        # not — the gap the RDMA eager channel exploits, [19]).
+        delay = self.cm.wire_latency
+        if wr.opcode is Opcode.SEND:
+            delay += self.cm.channel_recv_overhead
+        ev = self.sim.event()
+        ev.callbacks.append(
+            lambda _e: peer.hca._deliver(peer, qp, wr, data)
+        )
+        ev.succeed(delay=delay)
+
+    def _issue_read_request(self, qp: QueuePair, wr: SendWR):
+        """RDMA read: ship the request to the responder's HCA."""
+        start = self.sim.now
+        yield self.sim.timeout(self.cm.hca_startup)
+        self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_req")
+        self.descriptors_processed += 1
+        peer = qp.peer
+        length = wr.byte_len
+
+        def handle_request(_e, peer=peer, qp=qp, wr=wr, length=length):
+            peer.hca.memory.check_remote(wr.remote_addr, length, wr.rkey)
+            data = peer.hca.memory.view(wr.remote_addr, length).copy()
+            peer.hca._send_queue.put(_ReadResponse(qp, wr, data))
+
+        ev = self.sim.event()
+        ev.callbacks.append(handle_request)
+        ev.succeed(delay=self.cm.wire_latency + self.cm.rdma_read_extra)
+
+    def _stream_read_response(self, resp: _ReadResponse):
+        """Responder side of an RDMA read: stream data back on the wire."""
+        nbytes = len(resp.data)
+        start = self.sim.now
+        # read responses stream at the (lower) RDMA read bandwidth
+        occupancy = self.cm.hca_startup + nbytes / self.cm.rdma_read_bandwidth
+        self._dma_bracket(self.node, 0.0, occupancy)
+        self._dma_bracket(resp.req_qp.hca.node, self.cm.wire_latency, occupancy)
+        yield self.sim.timeout(occupancy)
+        self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_resp")
+        self.bytes_injected += nbytes
+        req_qp = resp.req_qp
+
+        def land(_e):
+            req_hca = req_qp.hca
+            req_hca._scatter(resp.wr.sges, resp.data)
+            req_qp.send_cq.push(
+                Completion(
+                    wr_id=resp.wr.wr_id,
+                    opcode=Opcode.RDMA_READ,
+                    byte_len=nbytes,
+                    src_qp=req_qp.peer.qp_num,
+                )
+            )
+
+        ev = self.sim.event()
+        ev.callbacks.append(land)
+        ev.succeed(delay=self.cm.wire_latency + self.cm.cqe_delay)
+
+    # -- data movement -------------------------------------------------------
+
+    def _gather(self, wr: SendWR) -> np.ndarray:
+        if not wr.sges:
+            return np.empty(0, dtype=np.uint8)
+        if len(wr.sges) == 1:
+            sge = wr.sges[0]
+            return self.memory.view(sge.addr, sge.length).copy()
+        return np.concatenate(
+            [self.memory.view(s.addr, s.length) for s in wr.sges]
+        )
+
+    def _scatter(self, sges, data: np.ndarray) -> None:
+        off = 0
+        for sge in sges:
+            take = min(sge.length, len(data) - off)
+            if take <= 0:
+                break
+            self.memory.view(sge.addr, take)[:] = data[off : off + take]
+            off += take
+        if off != len(data):
+            raise SimulationError(
+                f"node {self.node_id}: scatter list too small for "
+                f"{len(data)} inbound bytes"
+            )
+
+    # -- remote delivery ----------------------------------------------------
+
+    def _deliver(self, qp: QueuePair, src_qp: QueuePair, wr: SendWR, data: np.ndarray) -> None:
+        """Handle inbound traffic on the receiving HCA (no CPU cost)."""
+        if wr.opcode is Opcode.SEND:
+            recv_wr = qp._consume_recv()
+            if len(data) > recv_wr.byte_len:
+                raise SimulationError(
+                    f"node {self.node_id}: {len(data)}-byte SEND overruns "
+                    f"{recv_wr.byte_len}-byte receive descriptor"
+                )
+            self._scatter(recv_wr.sges, data)
+            self._complete_recv(qp, recv_wr.wr_id, wr, len(data))
+        elif wr.opcode in (
+            Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_IMM, Opcode.RDMA_WRITE_POLLED
+        ):
+            nbytes = len(data)
+            if nbytes:
+                self.memory.check_remote(wr.remote_addr, nbytes, wr.rkey)
+                self.memory.view(wr.remote_addr, nbytes)[:] = data
+            if wr.opcode is Opcode.RDMA_WRITE_IMM:
+                recv_wr = qp._consume_recv()
+                self._complete_recv(qp, recv_wr.wr_id, wr, nbytes)
+            elif wr.opcode is Opcode.RDMA_WRITE_POLLED:
+                # no descriptor consumed; the receiver's poll loop spots
+                # the tail flag after the poll interval
+                ev = self.sim.event()
+                cqe = Completion(
+                    wr_id=("poll", wr.remote_addr),
+                    opcode=wr.opcode,
+                    byte_len=nbytes,
+                    src_qp=qp.peer.qp_num if qp.peer else 0,
+                    payload=wr.payload,
+                    is_recv=True,
+                )
+                ev.callbacks.append(lambda _e: qp.recv_cq.push(cqe))
+                ev.succeed(delay=self.cm.eager_rdma_poll)
+        else:  # pragma: no cover - reads handled separately
+            raise SimulationError(f"unexpected inbound opcode {wr.opcode}")
+
+    def _complete_recv(self, qp: QueuePair, recv_wr_id: int, wr: SendWR, nbytes: int) -> None:
+        ev = self.sim.event()
+        cqe = Completion(
+            wr_id=recv_wr_id,
+            opcode=wr.opcode,
+            byte_len=nbytes,
+            imm=wr.imm,
+            src_qp=qp.peer.qp_num if qp.peer else 0,
+            payload=wr.payload,
+            is_recv=True,
+        )
+        ev.callbacks.append(lambda _e: qp.recv_cq.push(cqe))
+        ev.succeed(delay=self.cm.cqe_delay)
+
+    def _complete_local(self, qp: QueuePair, wr: SendWR, nbytes: int, delay: float) -> None:
+        ev = self.sim.event()
+        cqe = Completion(
+            wr_id=wr.wr_id,
+            opcode=wr.opcode,
+            byte_len=nbytes,
+            imm=wr.imm,
+            src_qp=qp.qp_num,
+        )
+        ev.callbacks.append(lambda _e: qp.send_cq.push(cqe))
+        ev.succeed(delay=delay)

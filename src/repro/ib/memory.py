@@ -1,0 +1,213 @@
+"""Per-node address spaces, allocator, and memory registration.
+
+Each simulated node owns a :class:`NodeMemory`: a flat byte-addressable
+space backed by a numpy ``uint8`` array.  Buffers are plain ``(addr, size)``
+ranges; :meth:`NodeMemory.view` exposes a numpy view for zero-copy access
+from the datatype engine.
+
+Memory registration mirrors the verbs model: :meth:`NodeMemory.register`
+creates a :class:`MemoryRegion` with local/remote keys; RDMA operations
+validate that every byte they touch lies inside a registered region with a
+matching key, raising :class:`ProtectionError` otherwise — so tests can
+assert that the schemes register exactly what they use.
+
+Registration here is *bookkeeping only*; the **time** cost is charged by
+the caller through the node CPU (see :class:`repro.ib.hca.Node`), because
+who pays, and when, is precisely what the paper's schemes differ on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["MemoryRegion", "NodeMemory", "ProtectionError"]
+
+
+class ProtectionError(RuntimeError):
+    """An RDMA/SGE access touched unregistered memory or used a bad key."""
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A registered (pinned) range of a node's address space."""
+
+    addr: int
+    length: int
+    lkey: int
+    rkey: int
+    node: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    def covers(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+
+@dataclass
+class _FreeBlock:
+    addr: int
+    size: int
+
+
+class NodeMemory:
+    """Flat byte address space with a first-fit allocator and an MR table.
+
+    The allocator is deliberately simple (sorted free list, first fit,
+    coalescing on free) — allocation *time* is simulated via the cost
+    model, not via the real allocator's behaviour.
+    """
+
+    def __init__(self, node: int, capacity: int, page_size: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.node = node
+        self.capacity = capacity
+        self.page_size = page_size
+        self.data = np.zeros(capacity, dtype=np.uint8)
+        self._free: list[_FreeBlock] = [_FreeBlock(0, capacity)]
+        self._allocated: dict[int, int] = {}  # addr -> size
+        self._regions: dict[int, MemoryRegion] = {}  # lkey -> MR
+        self._key_seq = 0
+        #: peak bytes allocated, for scalability reporting
+        self.peak_allocated = 0
+        self._cur_allocated = 0
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(self, size: int, align: int = 64) -> int:
+        """Allocate ``size`` bytes aligned to ``align``; returns the address.
+
+        Raises :class:`MemoryError` when the space is exhausted.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if align < 1 or align & (align - 1):
+            raise ValueError("align must be a positive power of two")
+        for i, blk in enumerate(self._free):
+            start = -(-blk.addr // align) * align  # round up
+            pad = start - blk.addr
+            if blk.size >= pad + size:
+                # carve [start, start+size) out of blk
+                tail_addr = start + size
+                tail_size = blk.addr + blk.size - tail_addr
+                new_blocks = []
+                if pad:
+                    new_blocks.append(_FreeBlock(blk.addr, pad))
+                if tail_size:
+                    new_blocks.append(_FreeBlock(tail_addr, tail_size))
+                self._free[i : i + 1] = new_blocks
+                self._allocated[start] = size
+                self._cur_allocated += size
+                self.peak_allocated = max(self.peak_allocated, self._cur_allocated)
+                return start
+        raise MemoryError(
+            f"node {self.node}: out of simulated memory "
+            f"(capacity {self.capacity}, requested {size})"
+        )
+
+    def free(self, addr: int) -> None:
+        """Release an allocation made by :meth:`alloc`."""
+        size = self._allocated.pop(addr, None)
+        if size is None:
+            raise ValueError(f"free of unallocated address {addr:#x}")
+        self._cur_allocated -= size
+        idx = bisect.bisect_left([b.addr for b in self._free], addr)
+        self._free.insert(idx, _FreeBlock(addr, size))
+        # coalesce with neighbours
+        if idx + 1 < len(self._free):
+            nxt = self._free[idx + 1]
+            if addr + size == nxt.addr:
+                self._free[idx].size += nxt.size
+                del self._free[idx + 1]
+        if idx > 0:
+            prv = self._free[idx - 1]
+            if prv.addr + prv.size == addr:
+                prv.size += self._free[idx].size
+                del self._free[idx]
+
+    def alloc_size(self, addr: int) -> int:
+        """Size of the allocation starting at ``addr``."""
+        return self._allocated[addr]
+
+    # -- access ----------------------------------------------------------
+
+    def view(self, addr: int, size: int) -> np.ndarray:
+        """A numpy uint8 view of [addr, addr+size)."""
+        if addr < 0 or addr + size > self.capacity:
+            raise ValueError(
+                f"view [{addr:#x}, {addr + size:#x}) outside address space"
+            )
+        return self.data[addr : addr + size]
+
+    def view_as(self, addr: int, shape: tuple, dtype) -> np.ndarray:
+        """A typed numpy view starting at ``addr`` with ``shape``/``dtype``."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return self.view(addr, nbytes).view(dtype).reshape(shape)
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, addr: int, length: int) -> MemoryRegion:
+        """Create a memory region covering [addr, addr+length).
+
+        Bookkeeping only; the caller charges registration time.
+        """
+        if length <= 0:
+            raise ValueError("region length must be positive")
+        if addr < 0 or addr + length > self.capacity:
+            raise ValueError("region outside address space")
+        self._key_seq += 1
+        mr = MemoryRegion(
+            addr=addr,
+            length=length,
+            lkey=self._key_seq,
+            rkey=self._key_seq | 0x80000000,
+            node=self.node,
+        )
+        self._regions[mr.lkey] = mr
+        return mr
+
+    def deregister(self, mr: MemoryRegion) -> None:
+        if self._regions.pop(mr.lkey, None) is None:
+            raise ValueError(f"deregister of unknown region lkey={mr.lkey}")
+
+    @property
+    def registered_regions(self) -> list[MemoryRegion]:
+        return list(self._regions.values())
+
+    @property
+    def registered_bytes(self) -> int:
+        return sum(mr.length for mr in self._regions.values())
+
+    def check_local(self, addr: int, length: int, lkey: int) -> None:
+        """Validate a local SGE access against the MR table."""
+        mr = self._regions.get(lkey)
+        if mr is None:
+            raise ProtectionError(
+                f"node {self.node}: unknown lkey {lkey} for "
+                f"[{addr:#x}, {addr + length:#x})"
+            )
+        if not mr.covers(addr, length):
+            raise ProtectionError(
+                f"node {self.node}: lkey {lkey} region "
+                f"[{mr.addr:#x}, {mr.end:#x}) does not cover "
+                f"[{addr:#x}, {addr + length:#x})"
+            )
+
+    def check_remote(self, addr: int, length: int, rkey: int) -> None:
+        """Validate a remote RDMA access against the MR table."""
+        for mr in self._regions.values():
+            if mr.rkey == rkey:
+                if not mr.covers(addr, length):
+                    raise ProtectionError(
+                        f"node {self.node}: rkey {rkey} region "
+                        f"[{mr.addr:#x}, {mr.end:#x}) does not cover "
+                        f"[{addr:#x}, {addr + length:#x})"
+                    )
+                return
+        raise ProtectionError(f"node {self.node}: unknown rkey {rkey}")

@@ -1,0 +1,28 @@
+"""Noncontiguous file I/O over the simulated verbs — the paper's
+"other domains" claim, exercised.
+
+The paper closes its abstract with: "Techniques discussed in this paper
+can be applied to other domains such as file and storage systems to
+support efficient noncontiguous I/O access", building on the authors'
+PVFS-over-InfiniBand work ([31], [33]) where client memory is
+noncontiguous and server-side file regions are contiguous.
+
+This subpackage implements that system shape:
+
+* :class:`~repro.io.server.FileServer` — a storage node exporting files
+  as registered regions; passive for data (clients drive one-sided RDMA),
+  active only for open/commit control messages.
+* :class:`~repro.io.client.IOClient` — writes gather noncontiguous user
+  memory straight into the contiguous file region (**RDMA write
+  gather**); reads scatter the file region straight into user blocks
+  (**RDMA read scatter**); both with a pack/unpack ("list I/O") strategy
+  as the baseline.
+* :class:`~repro.io.cluster.StorageCluster` — one server plus N client
+  nodes wired through the fabric.
+"""
+
+from repro.io.client import IOClient, StripedHandle
+from repro.io.cluster import StorageCluster
+from repro.io.server import FileHandle, FileServer
+
+__all__ = ["FileHandle", "FileServer", "IOClient", "StorageCluster", "StripedHandle"]

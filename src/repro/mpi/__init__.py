@@ -1,0 +1,51 @@
+"""MPI-like runtime over the simulated InfiniBand verbs.
+
+Rebuilds the MVAPICH structure the paper modifies (Section 3.1):
+
+* **Eager protocol** for small messages — data staged through pre-posted
+  internal buffers; the paper's optimized small-datatype path packs
+  directly into them (Section 7.1, Figure 7).
+* **Rendezvous protocol** for large messages — a handshake (start /
+  reply / data / notify) into which the datatype schemes of
+  :mod:`repro.schemes` plug their sender and receiver sides.
+* **Message matching** — posted-receive and unexpected queues matched on
+  (source, tag) in FIFO order, with MPI_ANY_TAG support.
+* **Collectives** — Alltoall (pairwise point-to-point, the shape measured
+  in Figure 11), plus Bcast / Allgather / Barrier.
+
+Entry point: :class:`repro.mpi.world.Cluster`.  Rank programs are Python
+generators receiving a :class:`repro.mpi.context.RankContext`::
+
+    from repro import Cluster, types
+
+    def rank0(mpi):
+        buf = mpi.alloc_array((128, 4096), "int32")
+        dt = types.vector(128, 8, 4096, types.INT)
+        yield from mpi.send(buf.addr, dt, 1, dest=1, tag=0)
+
+    def rank1(mpi):
+        buf = mpi.alloc_array((128, 4096), "int32")
+        dt = types.vector(128, 8, 4096, types.INT)
+        yield from mpi.recv(buf.addr, dt, 1, source=0, tag=0)
+
+    result = Cluster(2, scheme="bc-spup").run([rank0, rank1])
+"""
+
+from repro.mpi.context import ANY_TAG, RankContext
+from repro.mpi.errors import MPIError, RankError, TruncationError
+from repro.mpi.datatype_cache import DatatypeCache, ReceiverTypeRegistry
+from repro.mpi.requests import Request
+from repro.mpi.world import Cluster, RunResult
+
+__all__ = [
+    "ANY_TAG",
+    "Cluster",
+    "MPIError",
+    "RankError",
+    "TruncationError",
+    "DatatypeCache",
+    "RankContext",
+    "ReceiverTypeRegistry",
+    "Request",
+    "RunResult",
+]

@@ -1,0 +1,23 @@
+"""MPI-level error taxonomy.
+
+All are subclasses of :class:`~repro.simulator.engine.SimulationError`, so
+existing catch-alls keep working, but callers can distinguish protocol
+misuse from genuine simulator faults.
+"""
+
+from repro.simulator import SimulationError
+
+__all__ = ["MPIError", "RankError", "TruncationError"]
+
+
+class MPIError(SimulationError):
+    """Base for MPI semantic errors."""
+
+
+class TruncationError(MPIError):
+    """A message is larger than the posted receive buffer
+    (MPI_ERR_TRUNCATE)."""
+
+
+class RankError(MPIError):
+    """A rank argument is outside the communicator (MPI_ERR_RANK)."""

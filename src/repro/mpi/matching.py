@@ -1,0 +1,75 @@
+"""MPI message matching: posted-receive queue and unexpected queue.
+
+MPI ordering semantics: messages between a (sender, receiver) pair with
+the same tag match posted receives in the order they were sent; posted
+receives are considered in the order they were posted.  ``ANY_TAG``
+receives match any tag from the given source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["ANY_TAG", "MatchEngine"]
+
+ANY_TAG = -1
+
+
+class MatchEngine:
+    """Posted-receive and unexpected-message queues for one rank."""
+
+    def __init__(self):
+        self._posted: deque = deque()
+        self._unexpected: deque = deque()
+
+    # -- receiver side ----------------------------------------------------
+
+    def post_recv(self, rreq) -> Optional[Any]:
+        """Offer a receive request.  If an unexpected message matches, it
+        is removed and returned; otherwise the request is queued."""
+        for i, envelope in enumerate(self._unexpected):
+            if self._matches(rreq, envelope):
+                del self._unexpected[i]
+                return envelope
+        self._posted.append(rreq)
+        return None
+
+    def cancel_recv(self, rreq) -> bool:
+        """Remove a posted receive; True if it was still queued."""
+        try:
+            self._posted.remove(rreq)
+            return True
+        except ValueError:
+            return False
+
+    # -- arrival side ---------------------------------------------------------
+
+    def arrive(self, envelope) -> Optional[Any]:
+        """Offer an inbound message envelope (has ``.src`` and ``.tag``).
+
+        If a posted receive matches, it is removed and returned; otherwise
+        the envelope joins the unexpected queue.
+        """
+        for i, rreq in enumerate(self._posted):
+            if self._matches(rreq, envelope):
+                del self._posted[i]
+                return rreq
+        self._unexpected.append(envelope)
+        return None
+
+    @staticmethod
+    def _matches(rreq, envelope) -> bool:
+        return rreq.source == envelope.src and (
+            rreq.tag == ANY_TAG or rreq.tag == envelope.tag
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected)

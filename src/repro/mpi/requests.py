@@ -1,0 +1,67 @@
+"""Send/receive request objects.
+
+A :class:`Request` is what ``isend``/``irecv`` return: a handle carrying
+the message description plus a completion event.  The schemes use the
+same objects internally — the fields below are the union of what the
+protocol sides need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.datatypes.base import Datatype
+from repro.datatypes.segment import SegmentCursor
+from repro.simulator import Event
+
+__all__ = ["Request"]
+
+
+@dataclass
+class Request:
+    """An in-flight point-to-point operation."""
+
+    kind: str  # "send" | "recv"
+    rank: int  # owning rank
+    peer: int  # dest (send) or source (recv)
+    tag: int
+    addr: int  # user buffer origin
+    datatype: Datatype
+    count: int
+    done: Event = None  # triggers on completion
+    msg_id: int = 0
+    seq: int = 0  # per (src, dst) ordering sequence
+    #: set on completion of a recv: actual source/tag (for ANY_TAG)
+    status_src: Optional[int] = None
+    status_tag: Optional[int] = None
+
+    def __post_init__(self):
+        self._cursor: Optional[SegmentCursor] = None
+
+    @property
+    def source(self) -> int:
+        """Matching-side alias (recv requests)."""
+        return self.peer
+
+    @property
+    def nbytes(self) -> int:
+        return self.datatype.size * self.count
+
+    @property
+    def cursor(self) -> SegmentCursor:
+        """Lazily-built segment cursor over (datatype, count)."""
+        if self._cursor is None:
+            self._cursor = SegmentCursor(self.datatype, self.count)
+        return self._cursor
+
+    @property
+    def is_contiguous(self) -> bool:
+        flat = self.datatype.flatten(1)
+        return (flat.nblocks <= 1 and flat.size == self.datatype.extent) or (
+            self.count <= 1 and flat.nblocks <= 1
+        )
+
+    @property
+    def completed(self) -> bool:
+        return self.done is not None and self.done.triggered

@@ -1,0 +1,116 @@
+"""Optimistic Group Registration (OGR) — Wu, Wyckoff, Panda [33].
+
+Registering a noncontiguous datatype buffer block-by-block pays the
+registration **base cost** once per block; registering the whole spanning
+range pays the **per-page cost** for every gap page.  OGR groups blocks
+into covering regions so that a gap is swallowed exactly when pinning its
+pages is cheaper than starting a new registration operation:
+
+    merge across gap  <=>  pages(gap) * reg_per_page < reg_base
+
+"Large gaps which nulls any benefit over individual registration are
+filtered out" (Section 5.4.1).  Because the total cost is the sum of one
+base cost per region plus the per-page cost of each region, and each gap's
+merge decision changes the total by exactly ``pages(gap)*per_page -
+base``, deciding each gap independently on sorted blocks is optimal for
+this cost model (up to page-boundary rounding, which :func:`plan_regions`
+handles by costing real page spans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.ib.costmodel import CostModel
+from repro.ib.memory import MemoryRegion
+
+__all__ = ["GroupRegistration", "plan_regions", "region_cost"]
+
+
+def region_cost(cm: CostModel, addr: int, length: int) -> float:
+    """Registration time of one covering region."""
+    return cm.reg_time(length, addr)
+
+
+def plan_regions(
+    blocks: Iterable[tuple[int, int]], cm: CostModel
+) -> list[tuple[int, int]]:
+    """Group (addr, length) blocks into covering regions.
+
+    Blocks must be disjoint; they are sorted internally.  Returns a list of
+    (addr, length) regions, each to be registered with one operation.
+    """
+    blocks = sorted((int(a), int(l)) for a, l in blocks if l > 0)
+    if not blocks:
+        return []
+    regions: list[list[int]] = [[blocks[0][0], blocks[0][1]]]
+    for addr, length in blocks[1:]:
+        cur = regions[-1]
+        cur_end = cur[0] + cur[1]
+        if addr < cur_end:
+            raise ValueError(f"overlapping blocks at {addr:#x}")
+        # Cost of extending the current region to cover this block vs
+        # opening a fresh registration for it.  Compare real page spans so
+        # page-boundary sharing is accounted for.
+        merged = region_cost(cm, cur[0], addr + length - cur[0])
+        separate = region_cost(cm, cur[0], cur[1]) + region_cost(cm, addr, length)
+        if merged < separate:
+            cur[1] = addr + length - cur[0]
+        else:
+            regions.append([addr, length])
+    return [(a, l) for a, l in regions]
+
+
+def plan_cost(cm: CostModel, regions: Sequence[tuple[int, int]]) -> float:
+    """Total registration time of a region plan."""
+    return sum(region_cost(cm, a, l) for a, l in regions)
+
+
+@dataclass
+class GroupRegistration:
+    """The result of registering a block list as covering regions.
+
+    Provides lkey/rkey lookup for any block inside a region — what the
+    Copy-Reduced schemes need to build SGEs and RDMA descriptors.
+    """
+
+    regions: list[MemoryRegion] = field(default_factory=list)
+
+    @classmethod
+    def register(cls, node, blocks: Iterable[tuple[int, int]], *, charge: bool = True):
+        """Plan and register covering regions on ``node`` (generator).
+
+        ``node`` is a :class:`repro.ib.hca.Node`; registration time is
+        charged on its CPU per region.
+        """
+        plan = plan_regions(blocks, node.cm)
+        group = cls()
+        for addr, length in plan:
+            mr = yield from node.register(addr, length, charge=charge)
+            group.regions.append(mr)
+        return group
+
+    def mr_for(self, addr: int, length: int) -> MemoryRegion:
+        """The region covering [addr, addr+length)."""
+        for mr in self.regions:
+            if mr.covers(addr, length):
+                return mr
+        raise KeyError(f"no registered region covers [{addr:#x}, {addr + length:#x})")
+
+    def lkey_for(self, addr: int, length: int) -> int:
+        return self.mr_for(addr, length).lkey
+
+    @property
+    def registered_bytes(self) -> int:
+        return sum(mr.length for mr in self.regions)
+
+    @property
+    def nregions(self) -> int:
+        return len(self.regions)
+
+    def deregister(self, node, *, charge: bool = True):
+        """Deregister all regions (generator)."""
+        for mr in self.regions:
+            yield from node.deregister(mr, charge=charge)
+        self.regions.clear()

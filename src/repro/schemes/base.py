@@ -1,0 +1,210 @@
+"""Scheme interface and shared rendezvous machinery.
+
+A scheme contributes two generator methods that plug into the rendezvous
+protocol:
+
+* ``sender(ctx, req)`` — runs on the sending rank after ``isend`` decides
+  the message is a rendezvous message; must move all data and return when
+  the *send* completes (user send buffer reusable).
+* ``receiver(ctx, rreq, start)`` — spawned on the receiving rank when a
+  ``RndvStart`` matches a posted receive; must return when all data is in
+  the user receive buffer.
+
+Shared helpers here implement the pieces several schemes have in common:
+segment-buffer advertisement, the staged (segment-unpack) receiver used
+by BC-SPUP and RWG-UP, and user-buffer registration through the OGR
+planner + pin-down cache.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.mpi.messages import RndvReply, RndvStart, SegArrival
+from repro.registration.ogr import plan_regions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.context import RankContext
+    from repro.mpi.requests import Request
+
+__all__ = [
+    "DatatypeScheme",
+    "RegisteredUserBuffer",
+    "send_rndv_start",
+    "staged_receiver",
+]
+
+
+def send_rndv_start(ctx: "RankContext", req: "Request", scheme: str, meta=None):
+    """Send the rendezvous start control message (generator)."""
+    start = RndvStart(
+        src=ctx.rank,
+        tag=req.tag,
+        msg_id=req.msg_id,
+        nbytes=req.nbytes,
+        scheme=scheme,
+        seq=req.seq,
+        meta=meta,
+    )
+    yield from ctx.ctrl_send(req.peer, start)
+    return start
+
+
+class RegisteredUserBuffer:
+    """User-buffer registration served by the pin-down cache
+    (Section 5.4.1).
+
+    Three strategies, matching the section's discussion:
+
+    * ``"ogr"`` (default) — Optimistic Group Registration: group blocks
+      into covering regions by the gap/base-cost trade-off;
+    * ``"per-block"`` — "registers only contiguous blocks.  A large
+      number of buffer registration and deregistration events occur";
+    * ``"whole"`` — "registers the whole buffer which covers the datatype
+      message, including gaps ... at the cost of registering more space".
+
+    On a cache hit any strategy costs nothing; with the cache disabled
+    (Figure 14) every acquire registers and every release deregisters.
+    """
+
+    def __init__(self):
+        self._mrs = []
+
+    @classmethod
+    def acquire(cls, ctx: "RankContext", base_addr: int, flat, mode: str = "ogr"):
+        """Register the block list ``flat`` (offsets relative to
+        ``base_addr``) per the chosen strategy (generator)."""
+        self = cls()
+        blocks = [(base_addr + off, length) for off, length in flat.blocks()]
+        if not blocks:
+            return self
+        if mode == "ogr":
+            plan = plan_regions(blocks, ctx.cm)
+        elif mode == "per-block":
+            plan = blocks
+        elif mode == "whole":
+            lo = min(a for a, _l in blocks)
+            hi = max(a + l for a, l in blocks)
+            plan = [(lo, hi - lo)]
+        else:
+            raise ValueError(f"unknown registration mode {mode!r}")
+        for addr, length in plan:
+            mr = yield from ctx.reg_cache.acquire(addr, length)
+            self._mrs.append(mr)
+        return self
+
+    def lkey_for(self, addr: int, length: int) -> int:
+        for mr in self._mrs:
+            if mr.covers(addr, length):
+                return mr.lkey
+        raise KeyError(f"no registered region covers [{addr:#x}, +{length})")
+
+    def regions(self) -> list[tuple[int, int, int]]:
+        """(addr, length, rkey) advertisement for the remote side."""
+        return [(mr.addr, mr.length, mr.rkey) for mr in self._mrs]
+
+    def release(self, ctx: "RankContext"):
+        """Return all regions to the cache (generator)."""
+        for mr in self._mrs:
+            yield from ctx.reg_cache.release(mr)
+        self._mrs.clear()
+
+
+class DatatypeScheme:
+    """Base class: common naming and option plumbing."""
+
+    #: registry name; subclasses override
+    name = "base"
+    #: constructor options accepted from Cluster(scheme_options=...)
+    OPTIONS: tuple = ()
+    #: True for the MPICH-derived eager path with staging copies
+    eager_two_copy = False
+
+    def __init__(self, ctx: "RankContext"):
+        self.ctx = ctx
+
+    def sender(self, ctx: "RankContext", req: "Request"):  # pragma: no cover
+        raise NotImplementedError
+
+    def receiver(self, ctx, rreq, start):  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} rank={self.ctx.rank}>"
+
+
+def plan_segments(nbytes: int, segment_size: int) -> list[tuple[int, int]]:
+    """Split [0, nbytes) into (lo, hi) segments of ``segment_size``."""
+    nseg = max(1, math.ceil(nbytes / segment_size))
+    return [
+        (i * segment_size, min((i + 1) * segment_size, nbytes)) for i in range(nseg)
+    ]
+
+
+def staged_receiver(
+    ctx: "RankContext",
+    rreq: "Request",
+    start: RndvStart,
+    *,
+    segment_unpack: bool = True,
+):
+    """The segment-unpack receiver shared by BC-SPUP and RWG-UP.
+
+    Acquires one unpack segment buffer per expected segment, advertises
+    them in the rendezvous reply, then unpacks each segment as its
+    RDMA-write-with-immediate notification arrives (or, with
+    ``segment_unpack=False`` — the Figure 12 ablation — only after the
+    whole message has landed).
+    """
+    nbytes = start.nbytes
+    segsize = (start.meta or {}).get("segsize") or ctx.cm.segment_size_for(nbytes)
+    segs = plan_segments(nbytes, segsize)
+    bufs = yield from ctx.unpack_pool.acquire_block([hi - lo for lo, hi in segs])
+    reply = RndvReply(
+        msg_id=start.msg_id,
+        segments=tuple((b.addr, b.rkey, b.size) for b in bufs),
+    )
+    yield from ctx.ctrl_send(start.src, reply)
+    cursor = rreq.cursor
+    if cursor.total < nbytes:
+        from repro.mpi.errors import TruncationError
+
+        raise TruncationError(
+            f"rank {ctx.rank}: receive buffer ({cursor.total} B) smaller "
+            f"than incoming message ({nbytes} B)"
+        )
+    inbox = ctx.msg_inbox(start.msg_id)
+    pending: list[SegArrival] = []
+    arrived = 0
+    while arrived < len(segs):
+        note = yield inbox.get()
+        assert isinstance(note, SegArrival)
+        arrived += 1
+        if segment_unpack:
+            from repro.datatypes.pack import unpack_bytes
+
+            nblocks = unpack_bytes(
+                ctx.node.memory, rreq.addr, cursor, note.lo, note.hi,
+                bufs[note.index].addr,
+            )
+            yield from ctx.charge_pack(note.hi - note.lo, nblocks, "unpack")
+            yield from ctx.unpack_pool.release(bufs[note.index])
+        else:
+            pending.append(note)
+    if not segment_unpack:
+        # whole-message unpack after everything arrived: no overlap, and
+        # the multi-megabyte staging footprint streams through the cache
+        # cold (CostModel.deferred_unpack_penalty; Figure 12)
+        from repro.datatypes.pack import unpack_bytes
+
+        for note in sorted(pending, key=lambda s: s.index):
+            nblocks = unpack_bytes(
+                ctx.node.memory, rreq.addr, cursor, note.lo, note.hi,
+                bufs[note.index].addr,
+            )
+            yield from ctx.charge_pack(
+                note.hi - note.lo, nblocks, "unpack",
+                penalty=ctx.cm.deferred_unpack_penalty,
+            )
+            yield from ctx.unpack_pool.release(bufs[note.index])

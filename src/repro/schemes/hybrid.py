@@ -1,0 +1,291 @@
+"""Hybrid per-piece scheme selection — the paper's future work.
+
+Section 10: "We believe it is feasible to choose an appropriate [scheme]
+to fit a given datatype communication ... **This selection is also
+possible within different parts of a single datatype message.  We are
+currently working in this direction.**"  This module implements that
+direction:
+
+1. the sender ships its flattened layout in the rendezvous start (through
+   the same version-numbered datatype cache Multi-W uses for the receiver
+   layout, so it rides the wire only once per datatype);
+2. the receiver replies with its own layout, its registered user-buffer
+   regions, and a set of unpack segment buffers;
+3. **both sides independently compute the same common refinement** of the
+   two layouts and split the pieces at ``split_threshold``:
+
+   * pieces >= the threshold go as direct zero-copy RDMA writes into the
+     receiver's user buffer (the Multi-W treatment — startup amortizes);
+   * smaller pieces are packed, in stream order, into pool segments and
+     RDMA-written into the receiver's segment buffers, where the arrival
+     notification triggers an unpack of exactly those pieces (the BC-SPUP
+     treatment — no per-piece startup);
+
+4. a final zero-byte RDMA-write-with-immediate closes the message; RC
+   ordering guarantees all data has landed when it arrives.
+
+For a datatype like the paper's Figure 10 struct — block sizes spanning
+4 B to 512 KB in one message — neither Multi-W nor BC-SPUP alone is right
+for every block; the hybrid takes each piece's best path.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.pack import pack_bytes
+from repro.ib.verbs import Opcode, SGE, SendWR
+from repro.mpi.messages import CTRL_HEADER_BYTES, RndvReply, SegArrival
+from repro.schemes.base import (
+    DatatypeScheme,
+    RegisteredUserBuffer,
+    send_rndv_start,
+)
+from repro.schemes.multiw import refine
+
+__all__ = ["HybridScheme", "split_pieces"]
+
+
+def split_pieces(pieces, threshold: int):
+    """Partition refined (src, dst, len) pieces into (direct, packed).
+
+    Order within each partition is stream order, so both sides derive the
+    same packed-byte layout deterministically.
+    """
+    direct = [p for p in pieces if p[2] >= threshold]
+    packed = [p for p in pieces if p[2] < threshold]
+    return direct, packed
+
+
+class HybridScheme(DatatypeScheme):
+    name = "hybrid"
+    OPTIONS = ("split_threshold", "list_post")
+
+    def __init__(self, ctx, split_threshold: int = 4096, list_post: bool = True):
+        super().__init__(ctx)
+        self.split_threshold = split_threshold
+        self.list_post = list_post
+
+    # -- sender -----------------------------------------------------------
+
+    def sender(self, ctx, req):
+        node = ctx.node
+        cur = req.cursor
+        # ship the sender layout (cached per datatype) in the start
+        signature = (req.datatype.signature(), req.count)
+        src_layout = ctx.type_registry.encode_for(req.peer, signature, cur.flat)
+        layout_bytes = cur.flat.wire_bytes if src_layout[0] == "full" else 0
+        start = yield from self._send_start(ctx, req, src_layout, layout_bytes)
+        reply = yield ctx.msg_inbox(req.msg_id).get()
+        assert isinstance(reply, RndvReply)
+        dst_flat = ctx.dt_cache.resolve(req.peer, reply.layout)
+        dst_base = reply.meta["base"]
+        dst_regions = reply.meta["regions"]
+        pieces = refine(cur.flat, req.addr, dst_flat, dst_base)
+        direct, packed = split_pieces(pieces, self.split_threshold)
+        yield from ctx.node.cpu_work(
+            ctx.cm.dt_startup + len(pieces) * ctx.cm.dt_per_block, "dtproc"
+        )
+        # register only what the direct path reads from user memory
+        reg = None
+        if direct:
+            from repro.datatypes.flatten import Flattened
+
+            direct_blocks = Flattened.from_blocks(
+                sorted((src - req.addr, ln) for src, _dst, ln in direct)
+            )
+            reg = yield from RegisteredUserBuffer.acquire(ctx, req.addr, direct_blocks)
+
+        def rkey_for(addr, length):
+            for raddr, rlen, rkey in dst_regions:
+                if raddr <= addr and addr + length <= raddr + rlen:
+                    return rkey
+            raise KeyError(f"no receiver region covers [{addr:#x}, +{length})")
+
+        qp = ctx.ctrl_qps[req.peer]
+        # 1. direct zero-copy writes for the big pieces
+        if direct:
+            wrs = [
+                SendWR(
+                    Opcode.RDMA_WRITE,
+                    sges=[SGE(src, ln, reg.lkey_for(src, ln))],
+                    remote_addr=dst,
+                    rkey=rkey_for(dst, ln),
+                    signaled=False,
+                )
+                for src, dst, ln in direct
+            ]
+            if self.list_post:
+                yield from qp.post_send_list(wrs)
+            else:
+                for wr in wrs:
+                    yield from qp.post_send(wr)
+        # 2. packed segments for the small pieces
+        total_packed = sum(ln for _s, _d, ln in packed)
+        seg_bufs = []
+        if packed:
+            segsize = ctx.cm.segment_size_for(max(total_packed, 1))
+            seg_index = 0
+            pos = 0
+            while pos < total_packed:
+                take = min(segsize, total_packed - pos)
+                buf = yield from ctx.pack_pool.acquire()
+                seg_bufs.append(buf)
+                # pack pieces overlapping packed-byte range [pos, pos+take)
+                nblocks = self._pack_range(node, packed, pos, take, buf.addr)
+                yield from ctx.charge_pack(take, nblocks)
+                dst_addr, dst_rkey, cap = reply.segments[seg_index]
+                assert take <= cap
+                wr_id = ctx.new_wr_id()
+                done = ctx.send_completion(wr_id)
+                yield from qp.post_send(
+                    SendWR(
+                        Opcode.RDMA_WRITE_IMM,
+                        sges=[SGE(buf.addr, take, buf.lkey)],
+                        remote_addr=dst_addr,
+                        rkey=dst_rkey,
+                        imm=seg_index,
+                        wr_id=wr_id,
+                        payload=SegArrival(
+                            req.msg_id, seg_index, pos, pos + take, last=False
+                        ),
+                    )
+                )
+                ctx.sim.process(self._recycle(ctx, done, buf))
+                pos += take
+                seg_index += 1
+        # 3. fin marker: zero-byte write-with-immediate closes the message
+        wr_id = ctx.new_wr_id()
+        fin_done = ctx.send_completion(wr_id)
+        yield from qp.post_send(
+            SendWR(
+                Opcode.RDMA_WRITE_IMM,
+                imm=0xFFFF,
+                wr_id=wr_id,
+                payload=SegArrival(req.msg_id, -1, 0, 0, last=True),
+            )
+        )
+        yield fin_done
+        if reg is not None:
+            yield from reg.release(ctx)
+
+    def _send_start(self, ctx, req, src_layout, layout_bytes):
+        from repro.mpi.messages import RndvStart
+
+        start = RndvStart(
+            src=ctx.rank,
+            tag=req.tag,
+            msg_id=req.msg_id,
+            nbytes=req.nbytes,
+            scheme=self.name,
+            seq=req.seq,
+            meta={"layout": src_layout, "threshold": self.split_threshold},
+        )
+        yield from ctx.ctrl_send(
+            req.peer, start, nbytes=CTRL_HEADER_BYTES + layout_bytes
+        )
+        return start
+
+    @staticmethod
+    def _pack_range(node, packed, pos, take, dest_addr):
+        """Copy packed-byte range [pos, pos+take) of the small pieces
+        (concatenated in stream order) into a contiguous buffer."""
+        out = node.memory.view(dest_addr, take)
+        written = 0
+        walked = 0
+        nblocks = 0
+        for src, _dst, ln in packed:
+            if walked + ln <= pos:
+                walked += ln
+                continue
+            lo = max(0, pos - walked)
+            hi = min(ln, pos + take - walked)
+            if hi <= lo:
+                break
+            out[written : written + hi - lo] = node.memory.view(src + lo, hi - lo)
+            written += hi - lo
+            nblocks += 1
+            walked += ln
+            if written >= take:
+                break
+        return nblocks
+
+    @staticmethod
+    def _recycle(ctx, done, buf):
+        yield done
+        yield from ctx.pack_pool.release(buf)
+
+    # -- receiver ----------------------------------------------------------
+
+    def receiver(self, ctx, rreq, start):
+        node = ctx.node
+        cur = rreq.cursor
+        src_flat = ctx.dt_cache.resolve(start.src, start.meta["layout"])
+        threshold = start.meta["threshold"]
+        pieces = refine(src_flat, 0, cur.flat, rreq.addr)
+        _direct, packed = split_pieces(pieces, threshold)
+        total_packed = sum(ln for _s, _d, ln in packed)
+        # register the whole receive layout: direct pieces land in it, and
+        # the registration must cover them (OGR groups as usual)
+        reg = yield from RegisteredUserBuffer.acquire(ctx, rreq.addr, cur.flat)
+        # advertise segment buffers for the packed portion
+        bufs = []
+        segments = ()
+        if total_packed:
+            segsize = ctx.cm.segment_size_for(total_packed)
+            from repro.schemes.base import plan_segments
+
+            segs = plan_segments(total_packed, segsize)
+            bufs = yield from ctx.unpack_pool.acquire_block(
+                [hi - lo for lo, hi in segs]
+            )
+            segments = tuple((b.addr, b.rkey, b.size) for b in bufs)
+        signature = (rreq.datatype.signature(), rreq.count)
+        layout = ctx.type_registry.encode_for(start.src, signature, cur.flat)
+        extra = cur.flat.wire_bytes if layout[0] == "full" else 0
+        reply = RndvReply(
+            msg_id=start.msg_id,
+            segments=segments,
+            layout=layout,
+            meta={"base": rreq.addr, "regions": reg.regions()},
+        )
+        yield from ctx.ctrl_send(start.src, reply, nbytes=CTRL_HEADER_BYTES + extra)
+        # consume segment arrivals (unpack small pieces) until the fin
+        inbox = ctx.msg_inbox(start.msg_id)
+        while True:
+            note = yield inbox.get()
+            assert isinstance(note, SegArrival)
+            if note.last:
+                break
+            nblocks = self._unpack_range(
+                node, packed, note.lo, note.hi - note.lo, bufs[note.index].addr
+            )
+            yield from ctx.charge_pack(note.hi - note.lo, nblocks, "unpack")
+            yield from ctx.unpack_pool.release(bufs[note.index])
+            bufs[note.index] = None
+        for buf in bufs:
+            if buf is not None:  # fin can outrun nothing on RC, but be safe
+                yield from ctx.unpack_pool.release(buf)
+        yield from reg.release(ctx)
+
+    @staticmethod
+    def _unpack_range(node, packed, pos, take, src_addr):
+        """Scatter packed-byte range [pos, pos+take) into the small
+        pieces' destination addresses."""
+        src = node.memory.view(src_addr, take)
+        consumed = 0
+        walked = 0
+        nblocks = 0
+        for _src, dst, ln in packed:
+            if walked + ln <= pos:
+                walked += ln
+                continue
+            lo = max(0, pos - walked)
+            hi = min(ln, pos + take - walked)
+            if hi <= lo:
+                break
+            node.memory.view(dst + lo, hi - lo)[:] = src[consumed : consumed + hi - lo]
+            consumed += hi - lo
+            nblocks += 1
+            walked += ln
+            if consumed >= take:
+                break
+        return nblocks

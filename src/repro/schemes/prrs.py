@@ -1,0 +1,112 @@
+"""Pack with RDMA Read Scatter (P-RRS, Section 5.2).
+
+The mirror image of RWG-UP: the *sender* packs segments into its
+pre-registered pack buffers and advertises each with a control message;
+the *receiver* RDMA-reads each packed segment, scattering it directly
+into the contiguous blocks of its user buffer (read-scatter), then acks
+so the sender can recycle the pack buffer.
+
+The paper designs but does not implement this scheme, predicting it is
+"a little more costly to pipeline" (a control message per segment
+triggers each read) and slower because RDMA read trails RDMA write — our
+cost model reflects both, and the ablation benchmark quantifies the gap
+against RWG-UP.  It remains attractive for asymmetric communication
+where only the receiver side is noncontiguous.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.pack import pack_bytes
+from repro.ib.verbs import MAX_SGE, Opcode, SGE, SendWR
+from repro.mpi.messages import SegAck, SegReady
+from repro.schemes.base import (
+    DatatypeScheme,
+    RegisteredUserBuffer,
+    plan_segments,
+    send_rndv_start,
+)
+
+__all__ = ["PRRSScheme"]
+
+
+class PRRSScheme(DatatypeScheme):
+    name = "p-rrs"
+    OPTIONS = ()
+
+    def sender(self, ctx, req):
+        node = ctx.node
+        cur = req.cursor
+        nbytes = cur.total
+        segsize = ctx.cm.segment_size_for(nbytes)
+        segs = plan_segments(nbytes, segsize)
+        yield from send_rndv_start(
+            ctx, req, self.name, meta={"segsize": segsize, "nseg": len(segs)}
+        )
+        inbox = ctx.msg_inbox(req.msg_id)
+        blocks = yield from ctx.pack_pool.acquire_block([hi - lo for lo, hi in segs])
+        bufs = {}
+        for i, (lo, hi) in enumerate(segs):
+            buf = blocks[i]
+            bufs[i] = buf
+            nblocks = pack_bytes(node.memory, req.addr, cur, lo, hi, buf.addr)
+            yield from ctx.charge_pack(hi - lo, nblocks)
+            yield from ctx.ctrl_send(
+                req.peer,
+                SegReady(
+                    req.msg_id, i, lo, hi, buf.addr, buf.rkey,
+                    last=(i == len(segs) - 1),
+                ),
+            )
+        # wait for every segment's ack, recycling buffers as they come
+        acked = 0
+        while acked < len(segs):
+            note = yield inbox.get()
+            assert isinstance(note, SegAck)
+            yield from ctx.pack_pool.release(bufs.pop(note.index))
+            acked += 1
+
+    def receiver(self, ctx, rreq, start):
+        cur = rreq.cursor
+        if cur.total < start.nbytes:
+            from repro.mpi.errors import TruncationError
+
+            raise TruncationError("receive buffer smaller than incoming message")
+        reg = yield from RegisteredUserBuffer.acquire(ctx, rreq.addr, cur.flat)
+        inbox = ctx.msg_inbox(start.msg_id)
+        nseg = start.meta["nseg"]
+        done = 0
+        while done < nseg:
+            ready = yield inbox.get()
+            assert isinstance(ready, SegReady)
+            slices = cur.slices(ready.lo, ready.hi)
+            yield from ctx.node.cpu_work(
+                ctx.cm.dt_startup + len(slices) * ctx.cm.dt_per_block, "dtproc"
+            )
+            # read-scatter: one RDMA read per <= MAX_SGE scatter entries
+            src_off = 0
+            reads = []
+            for k in range(0, len(slices), MAX_SGE):
+                chunk = slices[k : k + MAX_SGE]
+                sges = [
+                    SGE(rreq.addr + off, length, reg.lkey_for(rreq.addr + off, length))
+                    for off, length in chunk
+                ]
+                chunk_bytes = sum(length for _o, length in chunk)
+                wr_id = ctx.new_wr_id()
+                reads.append(ctx.send_completion(wr_id))
+                yield from ctx.ctrl_qps[start.src].post_send(
+                    SendWR(
+                        Opcode.RDMA_READ,
+                        sges=sges,
+                        remote_addr=ready.addr + src_off,
+                        rkey=ready.rkey,
+                        wr_id=wr_id,
+                    )
+                )
+                src_off += chunk_bytes
+            yield ctx.sim.all_of(reads)
+            yield from ctx.ctrl_send(
+                start.src, SegAck(start.msg_id, ready.index, ready.last)
+            )
+            done += 1
+        yield from reg.release(ctx)

@@ -1,0 +1,373 @@
+"""Core discrete-event engine: simulator, events, processes.
+
+The design follows the classic generator-coroutine pattern (SimPy, desmod):
+
+* An :class:`Event` is a one-shot future.  It starts *untriggered*; calling
+  :meth:`Event.succeed` (or :meth:`Event.fail`) triggers it, after which the
+  simulator invokes its callbacks at the current simulated time.
+* A :class:`Process` wraps a generator.  Each value the generator yields must
+  be an :class:`Event`; the process suspends until that event triggers and is
+  then resumed with the event's value (or the event's exception is thrown
+  into the generator).  A :class:`Process` is itself an :class:`Event` that
+  triggers when the generator returns, carrying its return value.
+* The :class:`Simulator` owns the event heap and the clock.
+
+Determinism: the heap is keyed by ``(time, seq)`` where ``seq`` is a global
+monotonically increasing counter, so same-time events fire in the order they
+were scheduled.  Nothing in the engine consults wall-clock time or a global
+RNG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal simulation operations (double trigger, deadlock,
+    protection faults in the IB model, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot future tied to a :class:`Simulator`.
+
+    States: *untriggered* -> *triggered* (pending in the heap) ->
+    *processed* (callbacks have run).  An event can carry a value or an
+    exception; a process waiting on a failed event has the exception thrown
+    into it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked with ``self`` when the event is processed.
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+
+    # -- triggering -----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception after ``delay``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value (raises if the event failed or is pending)."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not triggered yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the simulator; not user API."""
+        self.processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event: it triggers when the generator returns
+    (value = the generator's return value) or raises (the exception
+    propagates to waiters, or aborts the simulation if nobody waits).
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"Process requires a generator, got {type(gen)!r}")
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Kick off the generator at the current time.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its callback is
+        disarmed); the process resumes immediately with the interrupt.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        hook = Event(self.sim)
+        hook.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
+        hook.succeed()
+
+    # -- internal --------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._exc is not None:
+            self._step(throw=event._exc)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:  # interrupted after completion race; ignore
+            return
+        self.sim._active_process = self
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            else:
+                target = self._gen.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.triggered = True
+            self._exc = exc
+            self.sim._schedule(self, 0.0)
+            self.sim._register_failure(self, exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances (Timeout, Process, Resource grants, ...)"
+            )
+        if target.processed:
+            # Already completed: resume immediately (same timestamp).
+            hook = Event(self.sim)
+            hook.callbacks.append(lambda _ev: self._resume(target))
+            hook.succeed()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"expected Event, got {type(ev)!r}")
+        self._pending = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            self._pending += 1
+            if ev.processed:
+                hook = Event(sim)
+                hook.callbacks.append(lambda _h, ev=ev: self._check(ev))
+                hook.succeed()
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered; value is the list of
+    child values in construction order.  Fails fast on the first failure."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers; value is ``(event,
+    value)`` for that child.  Fails if the first child to trigger failed."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self.succeed((event, event._value))
+
+
+class Simulator:
+    """Owns the clock and the event heap; runs the simulation.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def hello(sim):
+            yield sim.timeout(5.0)
+            return sim.now
+
+        proc = sim.process(hello(sim))
+        sim.run()
+        assert proc.value == 5.0
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._failures: list[tuple[Process, BaseException]] = []
+
+    # -- factory helpers --------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` microseconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def _register_failure(self, proc: Process, exc: BaseException) -> None:
+        self._failures.append((proc, exc))
+
+    # -- running -------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event in the heap."""
+        time, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("time went backwards")  # pragma: no cover
+        self.now = time
+        had_waiters = bool(event.callbacks)
+        event._process()
+        # A process that died with nobody waiting aborts the simulation;
+        # otherwise the exception was delivered to the waiters.
+        if isinstance(event, Process) and event._exc is not None and not had_waiters:
+            raise event._exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            self.step()
+        return self.now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

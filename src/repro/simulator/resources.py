@@ -1,0 +1,177 @@
+"""Synchronization primitives built on the event engine.
+
+* :class:`Resource` — a counted FIFO resource (a CPU core, an HCA send
+  engine, a DMA channel).  ``acquire()`` returns an event that triggers when
+  a slot is granted; ``release()`` hands the slot to the next waiter.
+* :class:`Store` — an unbounded FIFO mailbox of items; ``get()`` returns an
+  event carrying the next item.  Used for message queues, completion queues
+  and control channels.
+* :class:`Signal` — a level-triggered broadcast: waiters block until
+  :meth:`Signal.set` fires, after which waits complete immediately until
+  :meth:`Signal.clear`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.simulator.engine import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Signal", "Store"]
+
+
+class Resource:
+    """Counted resource with strict FIFO granting.
+
+    Example::
+
+        cpu = Resource(sim, capacity=1, name="cpu0")
+
+        def work(sim, cpu):
+            grant = yield cpu.acquire()
+            try:
+                yield sim.timeout(10.0)
+            finally:
+                cpu.release(grant)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        #: total microseconds of grant-held time, for utilization stats
+        self.busy_time = 0.0
+        self._grant_times: dict[int, float] = {}
+        self._grant_seq = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request a slot; the returned event's value is an opaque grant
+        token to pass back to :meth:`release`."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self._new_grant())
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, grant: int) -> None:
+        """Return a slot.  The oldest waiter (if any) is granted at the
+        current simulated time."""
+        start = self._grant_times.pop(grant, None)
+        if start is None:
+            raise SimulationError(f"release of unknown grant {grant!r} on {self.name}")
+        self.busy_time += self.sim.now - start
+        if self._waiters:
+            self._waiters.popleft().succeed(self._new_grant())
+        else:
+            self._in_use -= 1
+
+    def _new_grant(self) -> int:
+        self._grant_seq += 1
+        self._grant_times[self._grant_seq] = self.sim.now
+        return self._grant_seq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+            f"queue={len(self._waiters)}>"
+        )
+
+
+class Store:
+    """Unbounded FIFO mailbox.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    next item (immediately if one is queued).  Items are delivered strictly
+    in FIFO order to getters in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        #: total items ever put (statistics)
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self.total_put += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (does not consume)."""
+        return list(self._items)
+
+
+class Signal:
+    """Level-triggered broadcast event.
+
+    While *clear*, :meth:`wait` returns pending events; :meth:`set` fires
+    them all (with ``value``) and subsequent waits complete immediately.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._set = False
+        self._value: Any = None
+        self._waiters: list[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        if self._set:
+            return
+        self._set = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+
+    def clear(self) -> None:
+        self._set = False
+        self._value = None
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        if self._set:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append(ev)
+        return ev

@@ -1,0 +1,133 @@
+"""Structured tracing of simulation activity.
+
+A :class:`Tracer` collects timestamped :class:`TraceRecord` entries tagged
+with a category (``"cpu"``, ``"wire"``, ``"reg"``, ...) and a node id.  The
+benchmark harness uses traces to quantify overlap (e.g. how much packing
+time was hidden behind wire time in BC-SPUP) and to explain the figures in
+EXPERIMENTS.md.
+
+Tracing is off by default and adds no overhead beyond a boolean check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced interval of activity."""
+
+    start: float
+    end: float
+    node: int
+    category: str
+    detail: str = ""
+    meta: Any = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Tracer:
+    """Collects trace records; cheap no-op when disabled."""
+
+    enabled: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        start: float,
+        end: float,
+        node: int,
+        category: str,
+        detail: str = "",
+        meta: Any = None,
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(start, end, node, category, detail, meta))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def iter_category(self, category: str, node: Optional[int] = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if rec.category == category and (node is None or rec.node == node):
+                yield rec
+
+    def total_time(self, category: str, node: Optional[int] = None) -> float:
+        """Sum of durations for a category (intervals may overlap)."""
+        return sum(rec.duration for rec in self.iter_category(category, node))
+
+    def busy_time(self, category: str, node: Optional[int] = None) -> float:
+        """Union length of the intervals for a category (overlaps merged)."""
+        spans = sorted(
+            (rec.start, rec.end) for rec in self.iter_category(category, node)
+        )
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for start, end in spans:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def summary(self, node: Optional[int] = None) -> dict:
+        """Per-category totals: {category: {"total": .., "busy": ..,
+        "count": ..}} for one node (or all)."""
+        cats = sorted({r.category for r in self.records if node is None or r.node == node})
+        return {
+            cat: {
+                "total": self.total_time(cat, node),
+                "busy": self.busy_time(cat, node),
+                "count": sum(1 for _ in self.iter_category(cat, node)),
+            }
+            for cat in cats
+        }
+
+    def to_csv(self, path: str) -> None:
+        """Dump all records to a CSV file for external analysis."""
+        import csv
+        import os
+
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["start", "end", "node", "category", "detail"])
+            for r in self.records:
+                writer.writerow([r.start, r.end, r.node, r.category, r.detail])
+
+    def overlap_time(self, cat_a: str, cat_b: str, node: Optional[int] = None) -> float:
+        """Total time during which *both* categories were active.
+
+        Used to measure how much copy time is hidden behind wire time in the
+        pipelined schemes.
+        """
+        a = sorted((r.start, r.end) for r in self.iter_category(cat_a, node))
+        b = sorted((r.start, r.end) for r in self.iter_category(cat_b, node))
+        i = j = 0
+        total = 0.0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                total += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total

@@ -1,0 +1,53 @@
+"""Convenience namespace for datatype construction.
+
+``repro.types`` mirrors the MPI type-constructor vocabulary::
+
+    from repro import types
+    dt = types.vector(128, 8, 4096, types.INT)
+"""
+
+from repro.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    Datatype,
+    FLOAT,
+    Flattened,
+    INT,
+    LONG,
+    Primitive,
+    SHORT,
+    SegmentCursor,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "DOUBLE",
+    "Datatype",
+    "FLOAT",
+    "Flattened",
+    "INT",
+    "LONG",
+    "Primitive",
+    "SHORT",
+    "SegmentCursor",
+    "contiguous",
+    "hindexed",
+    "hvector",
+    "indexed",
+    "indexed_block",
+    "resized",
+    "struct",
+    "subarray",
+    "vector",
+]

@@ -1,0 +1,141 @@
+"""Tests for the reusable application kernels."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster
+from repro.apps import decompose_2d, halo_exchange, transpose
+
+
+class TestDecompose:
+    def test_square(self):
+        assert decompose_2d(4) == (2, 2)
+        assert decompose_2d(16) == (4, 4)
+
+    def test_rectangular(self):
+        assert decompose_2d(6) == (3, 2)
+        assert decompose_2d(8) == (4, 2)
+
+    def test_prime(self):
+        assert decompose_2d(7) == (7, 1)
+
+
+class TestHaloExchange:
+    @pytest.mark.parametrize("nranks", [4, 6])
+    def test_halos_carry_neighbour_ids(self, nranks):
+        grid = decompose_2d(nranks)
+        local = 64
+        n = local + 2
+
+        def program(mpi):
+            tile = mpi.alloc_array((n, n), np.float64)
+            tile.array[1:-1, 1:-1] = mpi.rank + 1
+            yield from halo_exchange(mpi, tile.addr, n, 8, grid)
+            py, px = grid
+            row_i, col_i = divmod(mpi.rank, px)
+            north = ((row_i - 1) % py) * px + col_i
+            west = row_i * px + (col_i - 1) % px
+            return (
+                bool((tile.array[0, 1:-1] == north + 1).all()),
+                bool((tile.array[1:-1, 0] == west + 1).all()),
+            )
+
+        res = Cluster(nranks).run(program)
+        assert all(a and b for a, b in res.values)
+
+    def test_bad_grid_rejected(self):
+        def program(mpi):
+            tile = mpi.alloc_array((10, 10), np.float64)
+            yield from halo_exchange(mpi, tile.addr, 10, 8, (3, 3))
+
+        with pytest.raises(ValueError, match="grid"):
+            Cluster(4).run(program)
+
+    def test_int_tiles(self):
+        def program(mpi):
+            n = 18
+            tile = mpi.alloc_array((n, n), np.int32)
+            tile.array[1:-1, 1:-1] = mpi.rank + 1
+            yield from halo_exchange(mpi, tile.addr, n, 4, (2, 2))
+            return int(tile.array[0, 1])
+
+        res = Cluster(4).run(program)
+        assert res.values[0] == 3  # north of rank 0 is rank 2 (periodic)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("p,n", [(2, 64), (4, 128)])
+    def test_transpose_correct(self, p, n):
+        rows = n // p
+
+        def program(mpi):
+            panel = mpi.alloc_array((rows, n), np.float64)
+            first = mpi.rank * rows
+            panel.array[:] = (
+                np.arange(first, first + rows)[:, None] * n + np.arange(n)
+            )
+            out = mpi.alloc_array((rows, n), np.float64)
+            yield from transpose(mpi, panel.addr, out.addr, n, 8)
+            # out must hold rows [rank*rows, ...) of the transpose:
+            # T[r, c] = c * n + r
+            first_t = mpi.rank * rows
+            expect = (
+                np.arange(n)[None, :] * n
+                + np.arange(first_t, first_t + rows)[:, None]
+            ).astype(np.float64)
+            return bool(np.array_equal(out.array, expect))
+
+        res = Cluster(p).run(program)
+        assert all(res.values)
+
+    def test_indivisible_rejected(self):
+        def program(mpi):
+            panel = mpi.alloc_array((10, 30), np.float64)
+            out = mpi.alloc_array((10, 30), np.float64)
+            yield from transpose(mpi, panel.addr, out.addr, 30, 8)
+
+        with pytest.raises(ValueError, match="divisible"):
+            Cluster(4).run(program)
+
+    def test_double_transpose_is_identity(self):
+        p, n = 4, 64
+        rows = n // p
+
+        def program(mpi):
+            rng = np.random.default_rng(mpi.rank)
+            panel = mpi.alloc_array((rows, n), np.float64)
+            panel.array[:] = rng.random((rows, n))
+            original = panel.array.copy()
+            tmp = mpi.alloc_array((rows, n), np.float64)
+            yield from transpose(mpi, panel.addr, tmp.addr, n, 8)
+            back = mpi.alloc_array((rows, n), np.float64)
+            yield from transpose(mpi, tmp.addr, back.addr, n, 8)
+            return bool(np.allclose(back.array, original))
+
+        res = Cluster(p).run(program)
+        assert all(res.values)
+
+    def test_on_subcommunicator(self):
+        """The kernels accept a communicator: transpose within a row of a
+        2x2 grid."""
+        n = 32
+
+        def program(mpi):
+            row = yield from mpi.comm_split(color=mpi.rank // 2, key=mpi.rank)
+            rows = n // row.nranks
+            panel = mpi.alloc_array((rows, n), np.float64)
+            first = row.rank * rows
+            panel.array[:] = (
+                np.arange(first, first + rows)[:, None] * n + np.arange(n)
+            )
+            out = mpi.alloc_array((rows, n), np.float64)
+            yield from transpose(mpi, panel.addr, out.addr, n, 8, comm=row)
+            first_t = row.rank * rows
+            expect = (
+                np.arange(n)[None, :] * n
+                + np.arange(first_t, first_t + rows)[:, None]
+            ).astype(np.float64)
+            return bool(np.array_equal(out.array, expect))
+
+        res = Cluster(4).run(program)
+        assert all(res.values)

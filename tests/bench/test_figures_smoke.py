@@ -1,0 +1,49 @@
+"""Smoke tests for the figure sweeps on tiny parameter sets.
+
+The full sweeps (and their shape assertions) live in benchmarks/; here we
+only verify the harness machinery: custom sweeps, caching, CSV output,
+and the CLI plumbing.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.__main__ import main as bench_main
+
+
+class TestTinySweeps:
+    def test_fig08_custom_columns(self):
+        cols, out = figures.fig08((8, 64))
+        assert cols == [8, 64]
+        for series in out.values():
+            assert len(series.y) == 2
+            assert all(v > 0 for v in series.y)
+
+    def test_fig14_custom_columns(self):
+        cols, out = figures.fig14((16, 128))
+        assert cols == [16, 128]
+
+    def test_caching_returns_same_object(self):
+        a = figures.fig08((8, 64))
+        b = figures.fig08((8, 64))
+        assert a is b
+
+    def test_csv_written(self):
+        figures.fig08((8, 64))
+        assert os.path.exists("results/fig08.csv")
+
+
+class TestCli:
+    def test_cli_runs_figure_with_cols(self, capsys):
+        # use a column set no other test asks for: the figure functions
+        # are lru_cached per sweep, and a cache hit prints nothing
+        rc = bench_main(["fig08", "--cols", "4", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_cli_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            bench_main(["fig99"])

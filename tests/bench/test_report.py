@@ -1,0 +1,56 @@
+"""Tests for report formatting and CSV output."""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.report import Series, improvement, print_table, write_csv
+
+
+class TestImprovement:
+    def test_factors(self):
+        assert improvement([10, 20], [5, 10]) == [2.0, 2.0]
+
+    def test_zero_guard(self):
+        assert improvement([10], [0]) == [float("inf")]
+
+
+class TestPrintTable:
+    def test_contains_values_and_factors(self, capsys):
+        a = Series("base", [100.0, 200.0])
+        b = Series("fast", [50.0, 100.0])
+        text = print_table("T", "x", [1, 2], [a, b], unit="us", baseline="base")
+        assert "100.0" in text
+        assert "2.00x" in text
+        assert "fast vs base" in text
+
+    def test_bandwidth_factors_invert(self):
+        a = Series("base", [100.0])
+        b = Series("fast", [200.0])
+        text = print_table("T", "x", [1], [a, b], unit="MB/s", baseline="base")
+        assert "2.00x" in text  # higher bandwidth = improvement
+
+    def test_no_baseline(self):
+        a = Series("only", [1.0])
+        text = print_table("T", "x", [9], [a])
+        assert "vs" not in text
+
+    def test_alignment(self):
+        a = Series("s", [1.0, 22222.0])
+        text = print_table("T", "x", [1, 1000], [a])
+        lines = text.splitlines()[2:]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "data.csv")
+        a = Series("a", [1.5, 2.5])
+        b = Series("b", [3.0, 4.0])
+        write_csv(path, "x", [10, 20], [a, b])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "a", "b"]
+        assert rows[1] == ["10", "1.5", "3.0"]
+        assert rows[2] == ["20", "2.5", "4.0"]

@@ -1,0 +1,96 @@
+"""Unit tests for the Flattened block list."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes.flatten import Flattened
+
+
+class TestFromBlocks:
+    def test_sorts_and_keeps_disjoint(self):
+        f = Flattened.from_blocks([(10, 2), (0, 4)])
+        assert list(f.offsets) == [0, 10]
+        assert list(f.lengths) == [4, 2]
+
+    def test_merges_adjacent(self):
+        f = Flattened.from_blocks([(0, 4), (4, 4), (8, 2)])
+        assert f.nblocks == 1
+        assert f.size == 10
+
+    def test_drops_zero_length(self):
+        f = Flattened.from_blocks([(0, 0), (5, 3)])
+        assert f.nblocks == 1
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Flattened.from_blocks([(0, 5), (3, 4)])
+
+    def test_empty(self):
+        f = Flattened.empty()
+        assert f.nblocks == 0
+        assert f.size == 0
+        assert f.span == 0
+        assert f.is_contiguous
+
+    def test_immutable_arrays(self):
+        f = Flattened.from_blocks([(0, 4)])
+        with pytest.raises(ValueError):
+            f.offsets[0] = 99
+
+
+class TestProperties:
+    def test_stats(self):
+        f = Flattened.from_blocks([(0, 4), (10, 8), (30, 12)])
+        assert f.size == 24
+        assert f.span == 42
+        assert f.gap_bytes == 18
+        assert f.min_block == 4
+        assert f.max_block == 12
+        assert f.mean_block == 8.0
+        assert f.median_block == 8.0
+
+    def test_wire_bytes(self):
+        f = Flattened.from_blocks([(0, 4), (10, 8)])
+        assert f.wire_bytes == 32
+
+
+class TestRepeat:
+    def test_repeat_tiles_by_extent(self):
+        f = Flattened.from_blocks([(0, 4)])
+        r = f.repeat(3, extent=10)
+        assert list(r.offsets) == [0, 10, 20]
+
+    def test_repeat_merges_when_touching(self):
+        f = Flattened.from_blocks([(0, 4)])
+        r = f.repeat(3, extent=4)
+        assert r.nblocks == 1
+        assert r.size == 12
+
+    def test_repeat_zero(self):
+        f = Flattened.from_blocks([(0, 4)])
+        assert f.repeat(0, 10).nblocks == 0
+
+    def test_repeat_one_is_same(self):
+        f = Flattened.from_blocks([(0, 4)])
+        assert f.repeat(1, 10) is f
+
+    def test_repeat_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Flattened.from_blocks([(0, 4)]).repeat(-1, 10)
+
+
+class TestOps:
+    def test_shift(self):
+        f = Flattened.from_blocks([(0, 4), (8, 4)]).shift(100)
+        assert list(f.offsets) == [100, 108]
+
+    def test_blocks_iter(self):
+        f = Flattened.from_blocks([(0, 4), (8, 4)])
+        assert list(f.blocks()) == [(0, 4), (8, 4)]
+
+    def test_equality_and_hash(self):
+        a = Flattened.from_blocks([(0, 4), (8, 4)])
+        b = Flattened.from_blocks([(8, 4), (0, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Flattened.from_blocks([(0, 4)])

@@ -1,0 +1,57 @@
+"""Tests for the MPI typemap / type-signature API."""
+
+import pytest
+
+from repro.datatypes import (
+    DOUBLE,
+    INT,
+    contiguous,
+    resized,
+    struct,
+    vector,
+)
+
+
+class TestTypemap:
+    def test_primitive(self):
+        assert INT.typemap() == [("INT", 0)]
+
+    def test_contiguous(self):
+        assert contiguous(3, INT).typemap() == [("INT", 0), ("INT", 4), ("INT", 8)]
+
+    def test_vector_offsets(self):
+        dt = vector(2, 1, 4, INT)
+        assert dt.typemap() == [("INT", 0), ("INT", 16)]
+
+    def test_struct_heterogeneous(self):
+        dt = struct([1, 2], [0, 8], [INT, DOUBLE])
+        assert dt.typemap() == [("INT", 0), ("DOUBLE", 8), ("DOUBLE", 16)]
+
+    def test_nested(self):
+        inner = contiguous(2, INT)
+        dt = vector(2, 1, 2, inner)  # two inner elements 16 bytes apart
+        assert dt.typemap() == [
+            ("INT", 0), ("INT", 4), ("INT", 16), ("INT", 20)
+        ]
+
+    def test_resized_keeps_typemap(self):
+        dt = resized(INT, lb=0, extent=64)
+        assert dt.typemap() == [("INT", 0)]
+
+    def test_type_signature_ignores_offsets(self):
+        a = vector(4, 1, 8, INT)
+        b = contiguous(4, INT)
+        assert a.type_signature() == b.type_signature() == ("INT",) * 4
+
+    def test_signature_distinguishes_primitives(self):
+        a = contiguous(2, INT)
+        b = contiguous(1, DOUBLE)
+        assert a.size == b.size  # same bytes...
+        assert a.type_signature() != b.type_signature()  # ...different types
+
+    def test_typemap_consistent_with_size(self):
+        from repro.datatypes import hindexed
+
+        dt = hindexed([2, 1], [0, 32], INT)
+        tm = dt.typemap()
+        assert len(tm) * 4 == dt.size

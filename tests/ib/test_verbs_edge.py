@@ -1,0 +1,216 @@
+"""Edge-case tests for the verbs layer: list post, signaling, polled
+writes, queue-pair misuse."""
+
+import numpy as np
+import pytest
+
+from repro.ib import (
+    CostModel,
+    Fabric,
+    Opcode,
+    ProtectionError,
+    RecvWR,
+    SGE,
+    SendWR,
+)
+from repro.simulator import SimulationError, Simulator
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    fabric = Fabric(sim, CostModel.mellanox_2003())
+    nodes = fabric.connect_all(memory_capacity=16 << 20, n=2)
+    return sim, nodes[0], nodes[1]
+
+
+def setup_write(n0, n1, size=1024, count=1):
+    srcs, mrs = [], []
+    for k in range(count):
+        s = n0.memory.alloc(size)
+        n0.memory.view(s, size)[:] = (k + 1) % 251
+        srcs.append(s)
+        mrs.append(n0.memory.register(s, size))
+    dst = n1.memory.alloc(size * count)
+    mrd = n1.memory.register(dst, size * count)
+    return srcs, mrs, dst, mrd
+
+
+class TestListPost:
+    def test_list_post_single_cpu_charge(self, net):
+        sim, n0, n1 = net
+        cm = n0.cm
+        srcs, mrs, dst, mrd = setup_write(n0, n1, count=8)
+        qp = n0.hca.qps[1]
+        wrs = [
+            SendWR(
+                Opcode.RDMA_WRITE,
+                sges=[SGE(srcs[k], 1024, mrs[k].lkey)],
+                remote_addr=dst + k * 1024,
+                rkey=mrd.rkey,
+                signaled=(k == 7),
+                wr_id=k,
+            )
+            for k in range(8)
+        ]
+
+        def prog():
+            t0 = sim.now
+            yield from qp.post_send_list(wrs)
+            post_time = sim.now - t0
+            yield qp.send_cq.wait()
+            return post_time
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value == pytest.approx(cm.post_time(8, list_post=True))
+        assert p.value < cm.post_time(8)
+        # all data arrived in order
+        for k in range(8):
+            assert (n1.memory.view(dst + k * 1024, 1024) == (k + 1) % 251).all()
+
+    def test_list_post_validates_every_wr(self, net):
+        sim, n0, n1 = net
+        qp = n0.hca.qps[1]
+        good = SendWR(Opcode.RDMA_WRITE, sges=[], remote_addr=0, rkey=0)
+        bad = SendWR(Opcode.RDMA_WRITE, sges=[SGE(0, 16, 9999)])
+
+        def prog():
+            yield from qp.post_send_list([good, bad])
+
+        sim.process(prog())
+        with pytest.raises(ProtectionError):
+            sim.run()
+
+
+class TestSignaling:
+    def test_unsignaled_wr_produces_no_cqe(self, net):
+        sim, n0, n1 = net
+        srcs, mrs, dst, mrd = setup_write(n0, n1)
+        qp = n0.hca.qps[1]
+
+        def prog():
+            yield from qp.post_send(
+                SendWR(
+                    Opcode.RDMA_WRITE,
+                    sges=[SGE(srcs[0], 1024, mrs[0].lkey)],
+                    remote_addr=dst,
+                    rkey=mrd.rkey,
+                    signaled=False,
+                )
+            )
+            yield sim.timeout(100.0)
+
+        sim.process(prog())
+        sim.run()
+        assert len(qp.send_cq) == 0
+        assert np.array_equal(n0.memory.view(srcs[0], 1024), n1.memory.view(dst, 1024))
+
+
+class TestPolledWrite:
+    def test_polled_write_notifies_without_descriptor(self, net):
+        sim, n0, n1 = net
+        srcs, mrs, dst, mrd = setup_write(n0, n1)
+        qp0, qp1 = n0.hca.qps[1], n1.hca.qps[0]
+        # NOTE: no receive descriptor posted on qp1
+
+        def sender():
+            yield from qp0.post_send(
+                SendWR(
+                    Opcode.RDMA_WRITE_POLLED,
+                    sges=[SGE(srcs[0], 1024, mrs[0].lkey)],
+                    remote_addr=dst,
+                    rkey=mrd.rkey,
+                    payload="hello",
+                )
+            )
+
+        def receiver():
+            cqe = yield qp1.recv_cq.wait()
+            return cqe
+
+        rp = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert rp.value.payload == "hello"
+        assert rp.value.wr_id == ("poll", dst)
+        assert rp.value.byte_len == 1024
+        assert np.array_equal(n0.memory.view(srcs[0], 1024), n1.memory.view(dst, 1024))
+
+    def test_polled_write_checks_protection(self, net):
+        sim, n0, n1 = net
+        srcs, mrs, _dst, _mrd = setup_write(n0, n1)
+        unregistered = n1.memory.alloc(1024)
+        qp0 = n0.hca.qps[1]
+
+        def sender():
+            yield from qp0.post_send(
+                SendWR(
+                    Opcode.RDMA_WRITE_POLLED,
+                    sges=[SGE(srcs[0], 1024, mrs[0].lkey)],
+                    remote_addr=unregistered,
+                    rkey=12345,
+                )
+            )
+
+        sim.process(sender())
+        with pytest.raises(ProtectionError):
+            sim.run()
+
+    def test_polled_faster_than_send(self, net):
+        """The [19] gap: no responder receive-WQE processing."""
+        sim, n0, n1 = net
+        srcs, mrs, dst, mrd = setup_write(n0, n1)
+        qp0, qp1 = n0.hca.qps[1], n1.hca.qps[0]
+        qp1.post_recv_nocost(
+            RecvWR(sges=[SGE(dst, 1024, mrd.lkey)])
+        )
+        stamps = {}
+
+        def receiver():
+            cqe = yield qp1.recv_cq.wait()
+            stamps["first"] = sim.now
+            cqe = yield qp1.recv_cq.wait()
+            stamps["second"] = sim.now
+
+        def sender():
+            t0 = sim.now
+            yield from qp0.post_send(
+                SendWR(Opcode.SEND, sges=[SGE(srcs[0], 1024, mrs[0].lkey)])
+            )
+            yield sim.timeout(50.0)
+            t1 = sim.now
+            yield from qp0.post_send(
+                SendWR(
+                    Opcode.RDMA_WRITE_POLLED,
+                    sges=[SGE(srcs[0], 1024, mrs[0].lkey)],
+                    remote_addr=dst,
+                    rkey=mrd.rkey,
+                )
+            )
+            return t0, t1
+
+        rp = sim.process(receiver())
+        sp = sim.process(sender())
+        sim.run()
+        t0, t1 = sp.value
+        send_delay = stamps["first"] - t0
+        polled_delay = stamps["second"] - t1
+        assert polled_delay < send_delay
+
+
+class TestQueuePairMisuse:
+    def test_post_on_unconnected_qp(self, net):
+        sim, n0, _n1 = net
+        lone = n0.hca.create_qp()
+
+        def prog():
+            yield from lone.post_send(SendWR(Opcode.SEND))
+
+        sim.process(prog())
+        with pytest.raises(SimulationError, match="not connected"):
+            sim.run()
+
+    def test_send_with_remote_addr_rejected(self, net):
+        with pytest.raises(SimulationError):
+            SendWR(Opcode.SEND, remote_addr=100).validate()

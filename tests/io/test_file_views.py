@@ -1,0 +1,142 @@
+"""Tests for noncontiguous file views (MPI_File_set_view-style access,
+Ching et al. [6] from the paper's related work)."""
+
+import numpy as np
+import pytest
+
+from repro import types
+from repro.io import StorageCluster
+from repro.simulator import SimulationError
+
+
+def make_cluster(nservers=1, stripe=64 * 1024):
+    return StorageCluster(1, nservers=nservers, stripe_size=stripe)
+
+
+class TestFileViews:
+    @pytest.mark.parametrize("strategy", ["rdma", "pack"])
+    def test_strided_file_layout(self, strategy):
+        """Write contiguous memory into every other 256-byte run of the
+        file (the classic row-of-a-2D-file pattern)."""
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        nbytes = 16 * 1024
+        mem_dt = types.contiguous(nbytes, types.BYTE)
+        # file view: 256-byte blocks, 512 bytes apart
+        file_dt = types.resized(types.contiguous(256, types.BYTE), 0, 512)
+        addr = client.node.memory.alloc(nbytes)
+        data = np.random.default_rng(1).integers(0, 255, nbytes, dtype=np.uint8)
+        client.node.memory.view(addr, nbytes)[:] = data
+
+        def prog(io):
+            fh = yield from io.open("f", 64 * 1024)
+            n = yield from io.write_view(
+                fh, 0, addr, mem_dt, file_dt=file_dt, strategy=strategy
+            )
+            return n
+
+        (n,) = cluster.run(prog)
+        assert n == nbytes
+        whole = cluster.file_bytes("f", 64 * 1024)
+        for k in range(nbytes // 256):
+            blk = whole[k * 512 : k * 512 + 256]
+            assert np.array_equal(blk, data[k * 256 : (k + 1) * 256]), k
+            gap = whole[k * 512 + 256 : (k + 1) * 512]
+            assert (gap == 0).all(), k
+
+    @pytest.mark.parametrize("strategy", ["rdma", "pack"])
+    def test_view_roundtrip_noncontig_both_sides(self, strategy):
+        """Noncontiguous memory through a noncontiguous view and back."""
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        mem_dt = types.vector(64, 16, 48, types.INT)  # 4 KB over 12 KB span
+        file_dt = types.resized(types.contiguous(128, types.BYTE), 0, 384)
+        src = client.node.memory.alloc(mem_dt.flatten(1).span + 64)
+        dst = client.node.memory.alloc(mem_dt.flatten(1).span + 64)
+        flat = mem_dt.flatten(1)
+        stream = np.random.default_rng(2).integers(0, 255, mem_dt.size, dtype=np.uint8)
+        pos = 0
+        for off, ln in flat.blocks():
+            client.node.memory.view(src + off, ln)[:] = stream[pos : pos + ln]
+            pos += ln
+
+        def prog(io):
+            fh = yield from io.open("f", 64 * 1024)
+            yield from io.write_view(fh, 0, src, mem_dt, file_dt=file_dt,
+                                     strategy=strategy)
+            yield from io.read_view(fh, 0, dst, mem_dt, file_dt=file_dt,
+                                    strategy=strategy)
+
+        cluster.run(prog)
+        got = np.concatenate(
+            [client.node.memory.view(dst + off, ln) for off, ln in flat.blocks()]
+        )
+        assert np.array_equal(got, stream)
+
+    def test_view_across_stripes(self):
+        cluster = make_cluster(nservers=2, stripe=4096)
+        client = cluster.clients[0]
+        nbytes = 8 * 1024
+        mem_dt = types.contiguous(nbytes, types.BYTE)
+        file_dt = types.resized(types.contiguous(1024, types.BYTE), 0, 2048)  # half-dense
+        addr = client.node.memory.alloc(nbytes)
+        client.node.memory.view(addr, nbytes)[:] = 7
+
+        def prog(io):
+            fh = yield from io.open("f", 32 * 1024)
+            yield from io.write_view(fh, 0, addr, mem_dt, file_dt=file_dt)
+
+        cluster.run(prog)
+        whole = cluster.file_bytes("f", 32 * 1024)
+        for k in range(nbytes // 1024):
+            assert (whole[k * 2048 : k * 2048 + 1024] == 7).all(), k
+        # both servers hold some of it
+        for server in cluster.servers:
+            assert (server.file_view("f") == 7).any()
+
+    def test_view_beyond_file_rejected(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        mem_dt = types.contiguous(4096, types.BYTE)
+        file_dt = types.resized(types.contiguous(64, types.BYTE), 0, 4096)  # 64x expansion
+
+        def prog(io):
+            fh = yield from io.open("tiny", 8 * 1024)
+            addr = client.node.memory.alloc(4096)
+            yield from io.write_view(fh, 0, addr, mem_dt, file_dt=file_dt)
+
+        with pytest.raises(SimulationError, match="beyond file"):
+            cluster.run(prog)
+
+    def test_empty_view_rejected(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+
+        def prog(io):
+            fh = yield from io.open("f", 4096)
+            addr = client.node.memory.alloc(64)
+            yield from io.write_view(
+                fh, 0, addr, types.contiguous(64, types.BYTE),
+                file_dt=types.contiguous(0, types.BYTE),
+            )
+
+        with pytest.raises(ValueError, match="no data"):
+            cluster.run(prog)
+
+    def test_view_offset(self):
+        cluster = make_cluster()
+        client = cluster.clients[0]
+        nbytes = 512
+        mem_dt = types.contiguous(nbytes, types.BYTE)
+        file_dt = types.contiguous(nbytes, types.BYTE)
+        addr = client.node.memory.alloc(nbytes)
+        client.node.memory.view(addr, nbytes)[:] = 9
+
+        def prog(io):
+            fh = yield from io.open("f", 8 * 1024)
+            yield from io.write_view(fh, 4096, addr, mem_dt, file_dt=file_dt)
+
+        cluster.run(prog)
+        whole = cluster.file_bytes("f", 8 * 1024)
+        assert (whole[:4096] == 0).all()
+        assert (whole[4096 : 4096 + 512] == 9).all()

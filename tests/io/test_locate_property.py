@@ -1,0 +1,56 @@
+"""Property test: the stripe address mapping is a bijection.
+
+Every global file offset maps to exactly one (server, local) location,
+distinct offsets never collide, and the mapping round-trips through the
+inverse formula — the invariant `StorageCluster.file_bytes` and all
+striped I/O rest on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.client import StripedHandle
+from repro.io.server import FileHandle
+
+
+def make_handle(nservers: int, stripe: int, size: int) -> StripedHandle:
+    parts = {
+        sid: FileHandle("f", 0, size, 1)  # addr/rkey irrelevant to locate
+        for sid in range(nservers)
+    }
+    return StripedHandle("f", size, stripe, parts)
+
+
+class TestLocateProperty:
+    @given(
+        nservers=st.integers(1, 5),
+        stripe=st.sampled_from([256, 1024, 4096]),
+        offsets=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bijection(self, nservers, stripe, offsets):
+        fh = make_handle(nservers, stripe, 2 << 20)
+        seen = {}
+        for off in set(offsets):
+            server, local = fh.locate(off)
+            assert 0 <= server < nservers
+            assert local >= 0
+            key = (server, local)
+            assert key not in seen, (off, seen[key])
+            seen[key] = off
+            # inverse: reconstruct the global offset
+            stripe_on_server = local // stripe
+            global_stripe = stripe_on_server * nservers + server
+            back = global_stripe * stripe + (local % stripe)
+            assert back == off
+
+    @given(nservers=st.integers(1, 4), stripe=st.sampled_from([512, 2048]))
+    @settings(max_examples=30, deadline=None)
+    def test_consecutive_offsets_stay_local_within_stripe(self, nservers, stripe):
+        fh = make_handle(nservers, stripe, 1 << 20)
+        for base in (0, stripe * 3, stripe * 7 + 5):
+            s0, l0 = fh.locate(base)
+            within = min(stripe - (base % stripe) - 1, 100)
+            s1, l1 = fh.locate(base + within)
+            assert s0 == s1
+            assert l1 - l0 == within

@@ -1,0 +1,79 @@
+"""Shared helpers for MPI-layer integration tests."""
+
+import numpy as np
+
+from repro import Cluster, types
+
+ALL_SCHEMES = (
+    "generic", "bc-spup", "rwg-up", "p-rrs", "multi-w", "hybrid", "adaptive"
+)
+
+
+def transfer(scheme, send_dt, recv_dt, count=1, fill=None, check=None,
+             cluster_kwargs=None, tag=3):
+    """Run a single send/recv between two ranks; returns (cluster, result).
+
+    ``fill(mem_view_fn, addr)`` initializes the sender buffer;
+    ``check(mem_view_fn, addr)`` validates the receiver buffer and returns
+    a value.  Both get the rank's context.
+    """
+    cluster = Cluster(2, scheme=scheme, **(cluster_kwargs or {}))
+    send_span = send_dt.flatten(count).span + abs(send_dt.lb) + 64
+    recv_span = recv_dt.flatten(count).span + abs(recv_dt.lb) + 64
+
+    def rank0(mpi):
+        addr = mpi.alloc(send_span)
+        if fill is not None:
+            fill(mpi, addr)
+        yield from mpi.send(addr, send_dt, count, dest=1, tag=tag)
+        return addr
+
+    def rank1(mpi):
+        addr = mpi.alloc(recv_span)
+        yield from mpi.recv(addr, recv_dt, count, source=0, tag=tag)
+        if check is not None:
+            return check(mpi, addr)
+        return addr
+
+    result = cluster.run([rank0, rank1])
+    return cluster, result
+
+
+def packed_stream(dt, count, base_view):
+    """The packed byte stream of (dt, count) rooted at base_view[0]."""
+    flat = dt.flatten(count)
+    return np.concatenate(
+        [base_view[off : off + ln] for off, ln in flat.blocks()]
+    )
+
+
+def fill_blocks(mpi, addr, dt, count, seed=123):
+    """Write a deterministic pattern into every data block.
+
+    The pattern is a function of the *stream position* only, so a receiver
+    with a different block partition sees the same expected stream.
+    """
+    flat = dt.flatten(count)
+    stream = expected_packed(dt, count, seed)
+    pos = 0
+    for off, ln in flat.blocks():
+        mpi.node.memory.view(addr + off, ln)[:] = stream[pos : pos + ln]
+        pos += ln
+
+
+def expected_packed(dt, count, seed=123):
+    total = dt.size * count
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 255, total, dtype=np.uint8)
+
+
+def check_blocks(mpi, addr, dt, count, seed=123):
+    """Validate the receive buffer holds the pattern in stream order."""
+    flat = dt.flatten(count)
+    got = np.concatenate(
+        [mpi.node.memory.view(addr + off, ln) for off, ln in flat.blocks()]
+    ) if flat.nblocks else np.empty(0, np.uint8)
+    want = expected_packed(dt, count, seed)
+    assert len(got) == len(want), f"{len(got)} != {len(want)} bytes"
+    assert np.array_equal(got, want), "data corrupted in transfer"
+    return True

@@ -1,0 +1,101 @@
+"""Tests for MPI_Alltoallv."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+
+
+class TestAlltoallv:
+    def test_variable_counts(self):
+        """Rank r sends (d+1) ints to rank d; everyone verifies."""
+        n = 4
+        dt = types.contiguous(1, types.INT)
+
+        def program(mpi):
+            sendcounts = [d + 1 for d in range(n)]
+            sdispls = [sum(sendcounts[:d]) * 4 for d in range(n)]
+            send = mpi.alloc_array((sum(sendcounts),), np.int32)
+            pos = 0
+            for d in range(n):
+                send.array[pos : pos + d + 1] = 100 * mpi.rank + d
+                pos += d + 1
+            recvcounts = [mpi.rank + 1] * n
+            rdispls = [s * (mpi.rank + 1) * 4 for s in range(n)]
+            recv = mpi.alloc_array((n * (mpi.rank + 1),), np.int32)
+            recv.array[:] = -1
+            yield from mpi.alltoallv(
+                send.addr, dt, sendcounts, sdispls,
+                recv.addr, dt, recvcounts, rdispls,
+            )
+            ok = True
+            for s in range(n):
+                chunk = recv.array[s * (mpi.rank + 1) : (s + 1) * (mpi.rank + 1)]
+                ok = ok and (chunk == 100 * s + mpi.rank).all()
+            return bool(ok)
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        assert all(res.values)
+
+    def test_zero_counts_skip_messages(self):
+        """Ranks exchange only with their right neighbour."""
+        n = 3
+        dt = types.contiguous(64, types.INT)
+
+        def program(mpi):
+            right = (mpi.rank + 1) % n
+            left = (mpi.rank - 1) % n
+            sendcounts = [0] * n
+            sendcounts[right] = 1
+            recvcounts = [0] * n
+            recvcounts[left] = 1
+            send = mpi.alloc_array((64,), np.int32)
+            send.array[:] = mpi.rank
+            recv = mpi.alloc_array((64,), np.int32)
+            recv.array[:] = -1
+            yield from mpi.alltoallv(
+                send.addr, dt, sendcounts, [0] * n,
+                recv.addr, dt, recvcounts, [0] * n,
+            )
+            return int(recv.array[0])
+
+        res = Cluster(n, scheme="multi-w").run(program)
+        assert res.values == [2, 0, 1]  # everyone got the left neighbour's id
+
+    def test_noncontiguous_types(self):
+        n = 2
+        send_dt = types.vector(16, 4, 8, types.INT)  # 256 B per count
+
+        def program(mpi):
+            send = mpi.alloc(2 * send_dt.extent + 128)
+            flat = send_dt.flatten(1)
+            for off, ln in flat.blocks():
+                mpi.node.memory.view(send + off, ln)[:] = mpi.rank + 1
+                mpi.node.memory.view(send + send_dt.extent + off, ln)[:] = mpi.rank + 1
+            recv = mpi.alloc_array((2 * 64 * 2,), np.int32)
+            recv_dt = types.contiguous(64, types.INT)
+            yield from mpi.alltoallv(
+                send, send_dt, [1, 1], [0, send_dt.extent],
+                recv.addr, recv_dt, [1, 1], [0, 256],
+            )
+            # chunk at rdispls[src] holds rank src's data: bytes of src+1
+            def word_of(byte):
+                return byte | (byte << 8) | (byte << 16) | (byte << 24)
+
+            return (
+                int(recv.array[0]) == word_of(1)  # from rank 0
+                and int(recv.array[64]) == word_of(2)  # from rank 1
+            )
+
+        res = Cluster(n, scheme="rwg-up").run(program)
+        assert all(res.values)
+
+    def test_argument_length_validation(self):
+        dt = types.contiguous(1, types.INT)
+
+        def program(mpi):
+            buf = mpi.alloc(64)
+            yield from mpi.alltoallv(buf, dt, [1], [0], buf, dt, [1], [0])
+
+        with pytest.raises(ValueError, match="nranks"):
+            Cluster(2).run(program)

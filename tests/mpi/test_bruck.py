@@ -1,0 +1,84 @@
+"""Tests for Bruck's small-message alltoall and algorithm selection."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from repro.mpi.collectives import (
+    BRUCK_MIN_RANKS,
+    BRUCK_THRESHOLD,
+    _alltoall_bruck,
+    _alltoall_pairwise,
+)
+
+
+def alltoall_program(count, n, force=None):
+    """Alltoall of (count int32) chunks; verify the standard pattern."""
+    dt = types.contiguous(count, types.INT)
+
+    def program(mpi):
+        send = mpi.alloc_array((n, count), np.int32)
+        for j in range(n):
+            send.array[j, :] = 1000 * mpi.rank + j
+        recv = mpi.alloc_array((n, count), np.int32)
+        recv.array[:] = -1
+        if force == "bruck":
+            yield from _alltoall_bruck(mpi, send.addr, dt, 1, recv.addr, dt, 1)
+        elif force == "pairwise":
+            yield from _alltoall_pairwise(mpi, send.addr, dt, 1, recv.addr, dt, 1)
+        else:
+            yield from mpi.alltoall(send.addr, dt, 1, recv.addr, dt, 1)
+        ok = all(
+            (recv.array[i] == 1000 * i + mpi.rank).all() for i in range(n)
+        )
+        return bool(ok), mpi.now
+
+    return program
+
+
+class TestBruckCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8])
+    def test_bruck_all_sizes(self, n):
+        res = Cluster(n).run(alltoall_program(8, n, force="bruck"))
+        assert all(ok for ok, _t in res.values)
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_matches_pairwise_result(self, n):
+        res_b = Cluster(n).run(alltoall_program(16, n, force="bruck"))
+        res_p = Cluster(n).run(alltoall_program(16, n, force="pairwise"))
+        assert all(ok for ok, _t in res_b.values)
+        assert all(ok for ok, _t in res_p.values)
+
+
+class TestSelection:
+    def test_bruck_wins_at_scale_with_tiny_chunks(self):
+        """The measured crossover: at >= 32 ranks and <= 16 B chunks,
+        Bruck's startup savings beat its extra copies."""
+        n, count = 32, 1  # 4 B chunks
+        res_b = Cluster(n).run(alltoall_program(count, n, force="bruck"))
+        res_p = Cluster(n).run(alltoall_program(count, n, force="pairwise"))
+        t_bruck = max(t for _ok, t in res_b.values)
+        t_pair = max(t for _ok, t in res_p.values)
+        assert t_bruck < t_pair
+
+    def test_pairwise_wins_below_the_crossover(self):
+        """At small process counts the fully-pipelined pairwise exchange
+        dominates (this model's eager messages are cheap)."""
+        n, count = 8, 16
+        res_b = Cluster(n).run(alltoall_program(count, n, force="bruck"))
+        res_p = Cluster(n).run(alltoall_program(count, n, force="pairwise"))
+        assert max(t for _ok, t in res_p.values) < max(
+            t for _ok, t in res_b.values
+        )
+
+    def test_auto_selection_tracks_best(self):
+        for n, count, better in ((32, 1, "bruck"), (8, 65536, "pairwise")):
+            res_auto = Cluster(n).run(alltoall_program(count, n))
+            res_best = Cluster(n).run(alltoall_program(count, n, force=better))
+            t_auto = max(t for _ok, t in res_auto.values)
+            t_best = max(t for _ok, t in res_best.values)
+            assert t_auto == pytest.approx(t_best, rel=0.02), (n, count)
+
+    def test_cutoff_constants(self):
+        assert BRUCK_THRESHOLD == 16
+        assert BRUCK_MIN_RANKS == 32

@@ -1,0 +1,114 @@
+"""Tests for MPI_Info-style buffer reuse hints (paper Section 6)."""
+
+import pytest
+
+from repro import Cluster, types
+
+
+class TestHintSemantics:
+    def test_no_hint_returns_none(self):
+        c = Cluster(1)
+        assert c.contexts[0].buffer_hint(0, 100) is None
+
+    def test_covering_hint_applies(self):
+        c = Cluster(1)
+        ctx = c.contexts[0]
+        ctx.set_buffer_hint(1000, 5000, reuse=False)
+        assert ctx.buffer_hint(1000, 5000) is False
+        assert ctx.buffer_hint(2000, 100) is False
+
+    def test_partial_coverage_does_not_apply(self):
+        c = Cluster(1)
+        ctx = c.contexts[0]
+        ctx.set_buffer_hint(1000, 5000, reuse=False)
+        assert ctx.buffer_hint(500, 1000) is None
+        assert ctx.buffer_hint(5999, 100) is None
+
+    def test_latest_hint_wins(self):
+        c = Cluster(1)
+        ctx = c.contexts[0]
+        ctx.set_buffer_hint(0, 10000, reuse=False)
+        ctx.set_buffer_hint(0, 10000, reuse=True)
+        assert ctx.buffer_hint(100, 100) is True
+
+    def test_bad_length(self):
+        c = Cluster(1)
+        with pytest.raises(ValueError):
+            c.contexts[0].set_buffer_hint(0, 0, reuse=True)
+
+
+class TestCacheInteraction:
+    def test_oneshot_hint_prevents_caching(self):
+        dt = types.vector(64, 1024, 4096, types.INT)
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            mpi.set_buffer_hint(buf, span, reuse=False)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=1)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=1)
+
+        c = Cluster(2, scheme="multi-w")
+        c.run([rank0, rank1])
+        # sender registered its user buffer on BOTH sends (no cache hit)
+        assert c.contexts[0].reg_cache.misses >= 2
+        # and nothing of the sender's user buffer stays pinned
+        sender_user = [
+            mr for mr in c.contexts[0].node.memory.registered_regions
+            if mr.length > 1 << 20 and mr.length < c.cm.pool_size
+        ]
+        assert sender_user == []
+
+    def test_reused_buffer_still_cached(self):
+        dt = types.vector(64, 1024, 4096, types.INT)
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            mpi.set_buffer_hint(buf, span, reuse=True)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=1)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=1)
+
+        c = Cluster(2, scheme="multi-w")
+        c.run([rank0, rank1])
+        assert c.contexts[0].reg_cache.hits >= 1
+
+
+class TestSelectorInteraction:
+    def _choice(self, hint):
+        dt = types.vector(64, 2048, 4096, types.INT)  # 8 KB blocks
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            if hint is not None:
+                mpi.set_buffer_hint(buf, span, reuse=hint)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+        c = Cluster(2, scheme="adaptive")
+        c.run([rank0, rank1])
+        sel = c.contexts[0].get_scheme("adaptive")
+        return list(sel.choices.values())[0]
+
+    def test_oneshot_hint_avoids_registration_schemes(self):
+        assert self._choice(hint=False) == "bc-spup"
+
+    def test_reuse_hint_keeps_zero_copy(self):
+        assert self._choice(hint=True) == "multi-w"
+
+    def test_no_hint_default(self):
+        assert self._choice(hint=None) == "multi-w"

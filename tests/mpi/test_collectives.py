@@ -1,0 +1,168 @@
+"""Integration tests for collective operations."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from tests.mpi.helpers import ALL_SCHEMES
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8])
+    def test_barrier_synchronizes(self, n):
+        """No rank leaves the barrier before the last rank enters it."""
+
+        def program(mpi):
+            # stagger entry: rank r enters at r * 50 us
+            yield mpi.sim.timeout(mpi.rank * 50.0)
+            enter = mpi.now
+            yield from mpi.barrier()
+            return enter, mpi.now
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        last_enter = max(v[0] for v in res.values)
+        for _enter, leave in res.values:
+            assert leave >= last_enter
+
+    def test_barrier_repeatable(self):
+        def program(mpi):
+            for _ in range(3):
+                yield from mpi.barrier()
+            return mpi.now
+
+        res = Cluster(4, scheme="bc-spup").run(program)
+        assert len(set(res.values)) <= 2  # all ranks leave close together
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_bcast_contiguous(self, n, root):
+        dt = types.contiguous(1000, types.INT)
+
+        def program(mpi):
+            buf = mpi.alloc_array((1000,), np.int32)
+            if mpi.rank == root:
+                buf.array[:] = np.arange(1000)
+            yield from mpi.bcast(buf.addr, dt, 1, root)
+            return int(buf.array.sum())
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        expect = int(np.arange(1000).sum())
+        assert all(v == expect for v in res.values)
+
+    def test_bcast_large_vector(self):
+        rows, cols = 64, 512
+        dt = types.vector(rows, 64, cols, types.INT)
+
+        def program(mpi):
+            buf = mpi.alloc_array((rows, cols), np.int32)
+            if mpi.rank == 0:
+                buf.array[:] = np.arange(rows * cols).reshape(rows, cols)
+            yield from mpi.bcast(buf.addr, dt, 1, 0)
+            return buf.array[:, :64].sum()
+
+        res = Cluster(4, scheme="rwg-up").run(program)
+        expect = np.arange(rows * cols).reshape(rows, cols)[:, :64].sum()
+        assert all(v == expect for v in res.values)
+
+
+class TestAllgather:
+    def test_allgather_values(self):
+        n, count = 4, 256
+        dt = types.contiguous(count, types.INT)
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.int32)
+            send.array[:] = mpi.rank + 1
+            recv = mpi.alloc_array((n, count), np.int32)
+            yield from mpi.allgather(send.addr, dt, 1, recv.addr, dt, 1)
+            return [int(recv.array[i, 0]) for i in range(n)]
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        for v in res.values:
+            assert v == [1, 2, 3, 4]
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_alltoall_contiguous(self, scheme):
+        n, count = 4, 512
+        dt = types.contiguous(count, types.INT)
+
+        def program(mpi):
+            send = mpi.alloc_array((n, count), np.int32)
+            for j in range(n):
+                send.array[j, :] = 100 * mpi.rank + j
+            recv = mpi.alloc_array((n, count), np.int32)
+            recv.array[:] = -1
+            yield from mpi.alltoall(send.addr, dt, 1, recv.addr, dt, 1)
+            # chunk i must hold rank i's row for me: 100*i + my_rank
+            return all(
+                (recv.array[i] == 100 * i + mpi.rank).all() for i in range(n)
+            )
+
+        res = Cluster(n, scheme=scheme).run(program)
+        assert all(res.values)
+
+    @pytest.mark.parametrize("scheme", ["generic", "bc-spup", "rwg-up", "multi-w"])
+    def test_alltoall_struct_datatype(self, scheme):
+        """The Figure 11 workload shape: struct with growing blocks."""
+        n = 4
+        lengths = [2**k for k in range(8)]  # 1..128 ints
+        disps, pos = [], 0
+        for m in lengths:
+            disps.append(pos * 4)
+            pos += 2 * m
+        dt = types.struct([m * 32 for m in lengths], [d * 32 for d in disps],
+                          [types.INT] * len(lengths))
+        extent = dt.extent
+
+        def program(mpi):
+            send = mpi.alloc(n * extent + 64)
+            recv = mpi.alloc(n * extent + 64)
+            flat = dt.flatten(1)
+            for j in range(n):
+                for off, ln in flat.blocks():
+                    mpi.node.memory.view(send + j * extent + off, ln)[:] = (
+                        (10 + mpi.rank * n + j) % 251
+                    )
+            yield from mpi.alltoall(send, dt, 1, recv, dt, 1)
+            ok = True
+            for i in range(n):
+                want = (10 + i * n + mpi.rank) % 251
+                for off, ln in flat.blocks():
+                    blk = mpi.node.memory.view(recv + i * extent + off, ln)
+                    ok = ok and (blk == want).all()
+            return bool(ok)
+
+        res = Cluster(n, scheme=scheme).run(program)
+        assert all(res.values)
+
+    def test_alltoall_schemes_improve_over_generic(self):
+        """Figure 11 shape: the new schemes beat Generic on an 8-process
+        alltoall with the struct datatype."""
+        n = 8
+        lengths, disps, pos = [], [], 0
+        for k in range(12):  # last block 2048 ints
+            m = 2**k
+            lengths.append(m)
+            disps.append(pos * 4)
+            pos += 2 * m
+        dt = types.struct(lengths, disps, [types.INT] * len(lengths))
+        extent = dt.extent
+
+        def program(mpi):
+            send = mpi.alloc(n * extent + 64)
+            recv = mpi.alloc(n * extent + 64)
+            t0 = mpi.now
+            for _ in range(2):
+                yield from mpi.alltoall(send, dt, 1, recv, dt, 1)
+            return mpi.now - t0
+
+        times = {}
+        for scheme in ("generic", "bc-spup", "multi-w"):
+            res = Cluster(n, scheme=scheme).run(program)
+            times[scheme] = max(res.values)
+        assert times["bc-spup"] < times["generic"]
+        assert times["multi-w"] < times["generic"]

@@ -1,0 +1,150 @@
+"""Tests for RankContext conveniences and error paths."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+
+
+def single_rank(program):
+    return Cluster(1).run(program).values[0]
+
+
+class TestAllocation:
+    def test_alloc_array_typed_view(self):
+        def program(mpi):
+            arr = mpi.alloc_array((4, 8), np.float32)
+            arr.array[:] = 2.5
+            raw = mpi.node.memory.view(arr.addr, 4 * 8 * 4).view(np.float32)
+            yield mpi.sim.timeout(0.0)
+            return float(raw.sum()), arr.nbytes
+
+        total, nbytes = single_rank(program)
+        assert total == 2.5 * 32
+        assert nbytes == 128
+
+    def test_alloc_alignment(self):
+        def program(mpi):
+            yield mpi.sim.timeout(0.0)
+            return mpi.alloc(100, align=256)
+
+        assert single_rank(program) % 256 == 0
+
+    def test_now_is_wtime(self):
+        def program(mpi):
+            t0 = mpi.now
+            yield mpi.sim.timeout(42.0)
+            return mpi.now - t0
+
+        assert single_rank(program) == 42.0
+
+
+class TestUserPackUnpack:
+    def test_roundtrip(self):
+        dt = types.vector(8, 2, 4, types.INT)
+
+        def program(mpi):
+            src = mpi.alloc(dt.extent + 64)
+            flat = dt.flatten(1)
+            for k, (off, ln) in enumerate(flat.blocks()):
+                mpi.node.memory.view(src + off, ln)[:] = k + 1
+            stage = mpi.alloc(dt.size)
+            yield from mpi.user_pack(src, dt, 1, stage)
+            dst = mpi.alloc(dt.extent + 64)
+            yield from mpi.user_unpack(dst, dt, 1, stage)
+            ok = all(
+                (mpi.node.memory.view(dst + off, ln) == k + 1).all()
+                for k, (off, ln) in enumerate(flat.blocks())
+            )
+            return ok
+
+        assert single_rank(program)
+
+    def test_pack_charges_time(self):
+        dt = types.vector(64, 64, 256, types.INT)
+
+        def program(mpi):
+            src = mpi.alloc(dt.extent + 64)
+            stage = mpi.alloc(dt.size)
+            t0 = mpi.now
+            yield from mpi.user_pack(src, dt, 1, stage)
+            return mpi.now - t0
+
+        dt_us = single_rank(program)
+        assert dt_us > 0
+
+
+class TestErrorPaths:
+    def test_bad_dest_rank(self):
+        dt = types.contiguous(4, types.INT)
+
+        def program(mpi):
+            buf = mpi.alloc(16)
+            yield from mpi.isend(buf, dt, 1, dest=5, tag=0)
+
+        from repro.mpi.errors import RankError
+
+        with pytest.raises(RankError, match="destination"):
+            Cluster(2).run([program, _idle])
+
+    def test_bad_source_rank(self):
+        dt = types.contiguous(4, types.INT)
+
+        def program(mpi):
+            buf = mpi.alloc(16)
+            yield from mpi.irecv(buf, dt, 1, source=-1, tag=0)
+
+        from repro.mpi.errors import RankError
+
+        with pytest.raises(RankError, match="source"):
+            Cluster(2).run([program, _idle])
+
+    def test_recv_buffer_too_small_rendezvous(self):
+        send_dt = types.contiguous(100_000, types.INT)
+        recv_dt = types.contiguous(10, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(send_dt.extent)
+            yield from mpi.send(buf, send_dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(64)
+            yield from mpi.recv(buf, recv_dt, 1, source=0, tag=0)
+
+        with pytest.raises(Exception):
+            Cluster(2, scheme="bc-spup").run([rank0, rank1])
+
+
+def _idle(mpi):
+    yield mpi.sim.timeout(0.0)
+
+
+class TestRequestStatus:
+    def test_status_fields_after_recv(self):
+        dt = types.contiguous(16, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=33)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent)
+            req = yield from mpi.recv(buf, dt, 1, source=0, tag=33)
+            return req.status_src, req.status_tag, req.completed
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == (0, 33, True)
+
+    def test_request_properties(self):
+        dt = types.vector(4, 2, 8, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            req = yield from mpi.isend(buf, dt, 2, dest=0, tag=1)
+            rreq = yield from mpi.irecv(buf, dt, 2, source=0, tag=1)
+            yield from mpi.waitall([req, rreq])
+            return req.nbytes, req.cursor.total, req.is_contiguous
+
+        nbytes, total, contig = Cluster(1).run(rank0).values[0]
+        assert nbytes == dt.size * 2 == total
+        assert not contig

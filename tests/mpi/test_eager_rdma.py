@@ -1,0 +1,155 @@
+"""Tests for the polled RDMA-eager channel (Liu et al. [19])."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from tests.mpi.helpers import check_blocks, fill_blocks
+
+
+def pingpong_latency(eager_rdma, nbytes=256, iters=4):
+    dt = types.contiguous(nbytes, types.BYTE)
+
+    def rank0(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        t0 = None
+        for i in range(iters):
+            if i == 1:
+                t0 = mpi.now
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            yield from mpi.recv(buf, dt, 1, source=1, tag=1)
+        return (mpi.now - t0) / (iters - 1) / 2
+
+    def rank1(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        for _ in range(iters):
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            yield from mpi.send(buf, dt, 1, dest=0, tag=1)
+
+    return Cluster(2, eager_rdma=eager_rdma).run([rank0, rank1]).values[0]
+
+
+class TestCorrectness:
+    def test_small_messages_delivered(self):
+        dt = types.vector(16, 4, 32, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            fill_blocks(mpi, buf, dt, 1)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            return check_blocks(mpi, buf, dt, 1)
+
+        res = Cluster(2, eager_rdma=True).run([rank0, rank1])
+        assert res.values[1] is True
+
+    def test_many_messages_flow_control(self):
+        """More messages than ring slots: ring credits must recycle."""
+        dt = types.contiguous(64, types.INT)
+        nmsg = 150  # >> the 32-slot ring
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            for k in range(nmsg):
+                mpi.node.memory.view(buf, 4)[:] = k % 251
+                yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent)
+            got = 0
+            for _ in range(nmsg):
+                yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+                got += 1
+            return got
+
+        res = Cluster(2, eager_rdma=True).run([rank0, rank1])
+        assert res.values[1] == nmsg
+
+    def test_unexpected_messages_park_in_ring(self):
+        dt = types.contiguous(32, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            for k in range(3):
+                mpi.node.memory.view(buf, 4)[:] = k + 1
+                yield from mpi.send(buf, dt, 1, dest=1, tag=k)
+
+        def rank1(mpi):
+            yield mpi.sim.timeout(500.0)  # let all three arrive unexpected
+            out = []
+            buf = mpi.alloc(dt.extent)
+            for k in reversed(range(3)):
+                yield from mpi.recv(buf, dt, 1, source=0, tag=k)
+                out.append(int(mpi.node.memory.view(buf, 1)[0]))
+            return out
+
+        res = Cluster(2, eager_rdma=True).run([rank0, rank1])
+        assert res.values[1] == [3, 2, 1]
+
+    def test_rendezvous_unaffected(self):
+        dt = types.vector(128, 512, 4096, types.INT)  # 256 KB
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            fill_blocks(mpi, buf, dt, 1)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            return check_blocks(mpi, buf, dt, 1)
+
+        res = Cluster(2, scheme="multi-w", eager_rdma=True).run([rank0, rank1])
+        assert res.values[1] is True
+
+    def test_collectives_over_ring(self):
+        def program(mpi):
+            send = mpi.alloc_array((4, 64), np.int32)
+            send.array[:] = mpi.rank
+            recv = mpi.alloc_array((4, 64), np.int32)
+            dt = types.contiguous(64, types.INT)
+            yield from mpi.alltoall(send.addr, dt, 1, recv.addr, dt, 1)
+            return [int(recv.array[i, 0]) for i in range(4)]
+
+        res = Cluster(4, eager_rdma=True).run(program)
+        for v in res.values:
+            assert v == [0, 1, 2, 3]
+
+
+class TestLatency:
+    def test_ring_faster_than_channel(self):
+        """The point of [19]: the polled ring shaves the responder's
+        receive-WQE processing off the eager latency."""
+        chan = pingpong_latency(eager_rdma=False)
+        ring = pingpong_latency(eager_rdma=True)
+        assert ring < chan
+        # the saving is roughly channel_recv_overhead per one-way hop
+        from repro import CostModel
+
+        cm = CostModel.mellanox_2003()
+        assert (chan - ring) == pytest.approx(
+            cm.channel_recv_overhead + cm.cqe_delay - cm.eager_rdma_poll, abs=0.6
+        )
+
+    def test_both_modes_same_wire_bytes(self):
+        """The ring changes latency, not the amount of data moved."""
+
+        def run(eager_rdma):
+            dt = types.contiguous(256, types.INT)
+
+            def rank0(mpi):
+                buf = mpi.alloc(dt.extent)
+                yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+            def rank1(mpi):
+                buf = mpi.alloc(dt.extent)
+                yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+            c = Cluster(2, eager_rdma=eager_rdma)
+            c.run([rank0, rank1])
+            return c.contexts[0].node.hca.bytes_injected
+
+        assert run(True) == run(False)

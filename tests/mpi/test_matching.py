@@ -1,0 +1,83 @@
+"""Unit tests for the MPI message-matching engine."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.mpi.matching import ANY_TAG, MatchEngine
+
+
+@dataclass
+class FakeRecv:
+    source: int
+    tag: int
+
+
+@dataclass
+class FakeEnvelope:
+    src: int
+    tag: int
+
+
+class TestMatching:
+    def test_posted_then_arrive(self):
+        m = MatchEngine()
+        r = FakeRecv(0, 5)
+        assert m.post_recv(r) is None
+        assert m.arrive(FakeEnvelope(0, 5)) is r
+
+    def test_arrive_then_post(self):
+        m = MatchEngine()
+        e = FakeEnvelope(0, 5)
+        assert m.arrive(e) is None
+        assert m.post_recv(FakeRecv(0, 5)) is e
+
+    def test_tag_mismatch_queues(self):
+        m = MatchEngine()
+        m.post_recv(FakeRecv(0, 5))
+        assert m.arrive(FakeEnvelope(0, 6)) is None
+        assert m.posted_count == 1
+        assert m.unexpected_count == 1
+
+    def test_source_mismatch_queues(self):
+        m = MatchEngine()
+        m.post_recv(FakeRecv(1, 5))
+        assert m.arrive(FakeEnvelope(0, 5)) is None
+
+    def test_any_tag_matches(self):
+        m = MatchEngine()
+        r = FakeRecv(0, ANY_TAG)
+        m.post_recv(r)
+        assert m.arrive(FakeEnvelope(0, 42)) is r
+
+    def test_fifo_posted_order(self):
+        m = MatchEngine()
+        r1, r2 = FakeRecv(0, 5), FakeRecv(0, 5)
+        m.post_recv(r1)
+        m.post_recv(r2)
+        assert m.arrive(FakeEnvelope(0, 5)) is r1
+        assert m.arrive(FakeEnvelope(0, 5)) is r2
+
+    def test_fifo_unexpected_order(self):
+        m = MatchEngine()
+        e1, e2 = FakeEnvelope(0, 5), FakeEnvelope(0, 5)
+        m.arrive(e1)
+        m.arrive(e2)
+        assert m.post_recv(FakeRecv(0, 5)) is e1
+        assert m.post_recv(FakeRecv(0, 5)) is e2
+
+    def test_earlier_nonmatching_skipped(self):
+        m = MatchEngine()
+        e1, e2 = FakeEnvelope(0, 1), FakeEnvelope(0, 2)
+        m.arrive(e1)
+        m.arrive(e2)
+        assert m.post_recv(FakeRecv(0, 2)) is e2
+        assert m.unexpected_count == 1
+
+    def test_cancel(self):
+        m = MatchEngine()
+        r = FakeRecv(0, 5)
+        m.post_recv(r)
+        assert m.cancel_recv(r)
+        assert not m.cancel_recv(r)
+        assert m.arrive(FakeEnvelope(0, 5)) is None

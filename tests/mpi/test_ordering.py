@@ -1,0 +1,123 @@
+"""Regression tests for MPI non-overtaking (found by the protocol
+fuzzer): an eager send followed by a rendezvous send on the same
+(source, tag) stream must match posted receives in posting order, even
+though the rendezvous start physically reaches the wire first."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from tests.mpi.helpers import ALL_SCHEMES
+
+
+class TestNonOvertaking:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_eager_then_rendezvous_same_tag(self, scheme):
+        """The fuzzer's minimal counterexample: 4 B eager then 9000 B
+        rendezvous, same stream.  Without sequence-number admission the
+        rendezvous start overtakes the eager message (its sender posts
+        control immediately while the eager path is still staging)."""
+
+        def rank0(mpi):
+            b4 = mpi.alloc(4)
+            mpi.node.memory.view(b4, 4)[:] = 42
+            b9 = mpi.alloc(9000)
+            mpi.node.memory.view(b9, 9000)[:] = 77
+            r1 = yield from mpi.isend(b4, types.contiguous(4, types.BYTE), 1, 1, 0)
+            r2 = yield from mpi.isend(b9, types.contiguous(9000, types.BYTE), 1, 1, 0)
+            yield from mpi.waitall([r1, r2])
+
+        def rank1(mpi):
+            b4 = mpi.alloc(4)
+            b9 = mpi.alloc(9000)
+            r1 = yield from mpi.irecv(b4, types.contiguous(4, types.BYTE), 1, 0, 0)
+            r2 = yield from mpi.irecv(b9, types.contiguous(9000, types.BYTE), 1, 0, 0)
+            yield from mpi.waitall([r1, r2])
+            return (
+                int(mpi.node.memory.view(b4, 1)[0]),
+                int(mpi.node.memory.view(b9, 1)[0]),
+            )
+
+        res = Cluster(2, scheme=scheme).run([rank0, rank1])
+        assert res.values[1] == (42, 77)
+
+    def test_rendezvous_then_eager_same_tag(self):
+        def rank0(mpi):
+            b9 = mpi.alloc(9000)
+            mpi.node.memory.view(b9, 9000)[:] = 11
+            b4 = mpi.alloc(4)
+            mpi.node.memory.view(b4, 4)[:] = 22
+            r1 = yield from mpi.isend(b9, types.contiguous(9000, types.BYTE), 1, 1, 0)
+            r2 = yield from mpi.isend(b4, types.contiguous(4, types.BYTE), 1, 1, 0)
+            yield from mpi.waitall([r1, r2])
+
+        def rank1(mpi):
+            b9 = mpi.alloc(9000)
+            b4 = mpi.alloc(4)
+            r1 = yield from mpi.irecv(b9, types.contiguous(9000, types.BYTE), 1, 0, 0)
+            r2 = yield from mpi.irecv(b4, types.contiguous(4, types.BYTE), 1, 0, 0)
+            yield from mpi.waitall([r1, r2])
+            return (
+                int(mpi.node.memory.view(b9, 1)[0]),
+                int(mpi.node.memory.view(b4, 1)[0]),
+            )
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == (11, 22)
+
+    def test_interleaved_sizes_long_stream(self):
+        """A longer alternating stream stays strictly ordered."""
+        sizes = [16, 20000, 64, 9000, 4, 12000, 256]
+
+        def rank0(mpi):
+            reqs = []
+            for k, size in enumerate(sizes):
+                buf = mpi.alloc(size)
+                mpi.node.memory.view(buf, size)[:] = (k + 1) * 3 % 251
+                r = yield from mpi.isend(
+                    buf, types.contiguous(size, types.BYTE), 1, 1, 0
+                )
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+
+        def rank1(mpi):
+            out = []
+            reqs, bufs = [], []
+            for size in sizes:
+                buf = mpi.alloc(size)
+                r = yield from mpi.irecv(
+                    buf, types.contiguous(size, types.BYTE), 1, 0, 0
+                )
+                reqs.append(r)
+                bufs.append(buf)
+            yield from mpi.waitall(reqs)
+            for buf in bufs:
+                out.append(int(mpi.node.memory.view(buf, 1)[0]))
+            return out
+
+        res = Cluster(2, scheme="bc-spup").run([rank0, rank1])
+        assert res.values[1] == [(k + 1) * 3 % 251 for k in range(len(sizes))]
+
+    def test_ordering_with_eager_rdma(self):
+        """The polled ring and channel paths have different delivery
+        delays; sequencing still holds."""
+
+        def rank0(mpi):
+            b1 = mpi.alloc(64)
+            mpi.node.memory.view(b1, 64)[:] = 5
+            b2 = mpi.alloc(30000)
+            mpi.node.memory.view(b2, 30000)[:] = 6
+            r1 = yield from mpi.isend(b1, types.contiguous(64, types.BYTE), 1, 1, 0)
+            r2 = yield from mpi.isend(b2, types.contiguous(30000, types.BYTE), 1, 1, 0)
+            yield from mpi.waitall([r1, r2])
+
+        def rank1(mpi):
+            b1 = mpi.alloc(64)
+            b2 = mpi.alloc(30000)
+            r1 = yield from mpi.irecv(b1, types.contiguous(64, types.BYTE), 1, 0, 0)
+            r2 = yield from mpi.irecv(b2, types.contiguous(30000, types.BYTE), 1, 0, 0)
+            yield from mpi.waitall([r1, r2])
+            return int(mpi.node.memory.view(b1, 1)[0]), int(mpi.node.memory.view(b2, 1)[0])
+
+        res = Cluster(2, eager_rdma=True).run([rank0, rank1])
+        assert res.values[1] == (5, 6)

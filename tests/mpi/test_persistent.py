@@ -1,0 +1,124 @@
+"""Tests for persistent requests (MPI_Send_init / MPI_Recv_init)."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from repro.simulator import SimulationError
+
+
+class TestPersistent:
+    def test_repeated_starts_deliver(self):
+        dt = types.vector(32, 8, 32, types.INT)
+        iters = 4
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            view = mpi.node.memory.view(buf, 4)
+            op = mpi.send_init(buf, dt, 1, dest=1, tag=0)
+            for k in range(iters):
+                view[:] = k + 1
+                yield from op.start()
+                yield from op.wait()
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            op = mpi.recv_init(buf, dt, 1, source=0, tag=0)
+            got = []
+            for _ in range(iters):
+                yield from op.start()
+                yield from op.wait()
+                got.append(int(mpi.node.memory.view(buf, 1)[0]))
+            return got
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == [1, 2, 3, 4]
+
+    def test_cursor_shared_across_starts(self):
+        dt = types.vector(16, 4, 16, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            op = mpi.send_init(buf, dt, 1, dest=1, tag=0)
+            r1 = yield from op.start()
+            yield from op.wait()
+            c1 = r1.cursor
+            r2 = yield from op.start()
+            yield from op.wait()
+            return c1 is r2.cursor
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            for _ in range(2):
+                yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[0] is True
+
+    def test_start_while_active_rejected(self):
+        dt = types.contiguous(64, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            op = mpi.recv_init(buf, dt, 1, source=1, tag=0)
+            yield from op.start()
+            yield from op.start()  # active, never completed
+
+        def rank1(mpi):
+            yield mpi.sim.timeout(1.0)
+
+        with pytest.raises(SimulationError, match="while active"):
+            Cluster(2).run([rank0, rank1])
+
+    def test_wait_before_start_rejected(self):
+        dt = types.contiguous(4, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(16)
+            op = mpi.send_init(buf, dt, 1, dest=0, tag=0)
+            yield from op.wait()
+
+        with pytest.raises(SimulationError, match="never started"):
+            Cluster(1).run(rank0)
+
+    def test_startall(self):
+        dt = types.contiguous(32, types.INT)
+
+        def rank0(mpi):
+            bufs = [mpi.alloc(dt.extent) for _ in range(3)]
+            for k, b in enumerate(bufs):
+                mpi.node.memory.view(b, 4)[:] = k + 10
+            ops = [mpi.send_init(b, dt, 1, dest=1, tag=k) for k, b in enumerate(bufs)]
+            reqs = yield from mpi.startall(ops)
+            yield from mpi.waitall(reqs)
+
+        def rank1(mpi):
+            bufs = [mpi.alloc(dt.extent) for _ in range(3)]
+            ops = [mpi.recv_init(b, dt, 1, source=0, tag=k) for k, b in enumerate(bufs)]
+            reqs = yield from mpi.startall(ops)
+            yield from mpi.waitall(reqs)
+            return [int(mpi.node.memory.view(b, 1)[0]) for b in bufs]
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == [10, 11, 12]
+
+    def test_rendezvous_persistent(self):
+        dt = types.vector(128, 512, 4096, types.INT)  # 256 KB
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.flatten(1).span + 64)
+            op = mpi.send_init(buf, dt, 1, dest=1, tag=0)
+            for _ in range(2):
+                yield from op.start()
+                yield from op.wait()
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.flatten(1).span + 64)
+            op = mpi.recv_init(buf, dt, 1, source=0, tag=0)
+            for _ in range(2):
+                yield from op.start()
+                yield from op.wait()
+            return True
+
+        res = Cluster(2, scheme="multi-w").run([rank0, rank1])
+        assert res.values[1] is True

@@ -1,0 +1,336 @@
+"""Integration tests: point-to-point datatype transfers over every scheme.
+
+Every test moves real bytes through the simulated fabric and checks the
+receive buffer byte-for-byte — schemes must be functionally
+indistinguishable and differ only in simulated time.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ANY_TAG, Cluster, types
+from tests.mpi.helpers import ALL_SCHEMES, check_blocks, fill_blocks, transfer
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme(request):
+    return request.param
+
+
+class TestEagerMessages:
+    def test_small_contiguous(self, scheme):
+        dt = types.contiguous(100, types.INT)  # 400 B, eager
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_small_vector(self, scheme):
+        dt = types.vector(16, 4, 32, types.INT)  # 256 B data
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_zero_byte_message(self, scheme):
+        dt = types.contiguous(0, types.BYTE)
+        _c, res = transfer(scheme, dt, dt, check=lambda mpi, a: True)
+        assert res.values[1] is True
+
+    def test_eager_asymmetric_types(self, scheme):
+        """Sender packs a vector; receiver unpacks into an indexed layout
+        with the same total size."""
+        send_dt = types.vector(8, 2, 6, types.INT)  # 64 B
+        recv_dt = types.indexed([4, 4, 8], [0, 8, 20], types.INT)  # 64 B
+        _c, res = transfer(
+            scheme, send_dt, recv_dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, send_dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, recv_dt, 1),
+        )
+        assert res.values[1] is True
+
+
+class TestRendezvousMessages:
+    def test_large_vector(self, scheme):
+        dt = types.vector(128, 64, 4096, types.INT)  # 32 KB data
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_megabyte_vector(self, scheme):
+        dt = types.vector(128, 2048, 4096, types.INT)  # 1 MB data
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_struct_datatype(self, scheme):
+        lengths = [2**k for k in range(6)]
+        disps, pos = [], 0
+        for n in lengths:
+            disps.append(pos * 4)
+            pos += 2 * n
+        dt = types.struct([n * 130 for n in lengths], [d * 130 for d in disps],
+                          [types.INT] * len(lengths))
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_count_greater_than_one(self, scheme):
+        dt = types.vector(32, 16, 64, types.INT)
+        _c, res = transfer(
+            scheme, dt, dt, count=8,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 8),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 8),
+        )
+        assert res.values[1] is True
+
+    def test_asymmetric_types_rendezvous(self, scheme):
+        """Different layouts on the two sides (same type signature size)
+        exercise the common-refinement / cursor machinery."""
+        send_dt = types.vector(64, 128, 512, types.INT)  # 32 KB in 64 blocks
+        recv_dt = types.vector(256, 32, 64, types.INT)  # 32 KB in 256 blocks
+        assert send_dt.size == recv_dt.size
+        _c, res = transfer(
+            scheme, send_dt, recv_dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, send_dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, recv_dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_contiguous_rendezvous(self, scheme):
+        dt = types.contiguous(100_000, types.INT)  # 400 KB contiguous
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+        )
+        assert res.values[1] is True
+
+    def test_contiguous_sender_noncontiguous_receiver(self, scheme):
+        send_dt = types.contiguous(8192, types.INT)  # 32 KB contiguous
+        recv_dt = types.vector(128, 64, 256, types.INT)  # 32 KB
+        _c, res = transfer(
+            scheme, send_dt, recv_dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, send_dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, recv_dt, 1),
+        )
+        assert res.values[1] is True
+
+
+class TestWorstCaseModes:
+    """Figure 14 configuration: no registration cache, no staging pools."""
+
+    def test_correct_without_caches(self, scheme):
+        dt = types.vector(64, 256, 1024, types.INT)  # 64 KB
+        _c, res = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            check=lambda mpi, a: check_blocks(mpi, a, dt, 1),
+            cluster_kwargs={"reg_cache_bytes": 0, "staging_pools": False},
+        )
+        assert res.values[1] is True
+
+    def test_worst_case_slower(self, scheme):
+        dt = types.vector(128, 512, 4096, types.INT)
+        _c, warm = transfer(
+            scheme, dt, dt, fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1)
+        )
+        _c, cold = transfer(
+            scheme, dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            cluster_kwargs={"reg_cache_bytes": 0, "staging_pools": False},
+        )
+        assert cold.time_us >= warm.time_us
+
+    def test_nothing_left_registered_after_worst_case(self):
+        dt = types.vector(64, 256, 1024, types.INT)
+        cluster, _res = transfer(
+            "multi-w", dt, dt,
+            fill=lambda mpi, a: fill_blocks(mpi, a, dt, 1),
+            cluster_kwargs={"reg_cache_bytes": 0},
+        )
+        for ctx in cluster.contexts:
+            # only the infrastructure regions (eager slots, pools) remain;
+            # no user-buffer regions leak
+            user_regions = [
+                mr
+                for mr in ctx.node.memory.registered_regions
+                if mr.length < ctx.cm.pool_size
+                and mr.length != 64 * ctx._slot_size
+                and mr.length != 128 * ctx._slot_size
+            ]
+            assert user_regions == [], user_regions
+
+
+class TestNonblocking:
+    def test_isend_irecv_waitall(self, scheme):
+        dt = types.vector(16, 16, 64, types.INT)
+        nmsg = 5
+
+        def rank0(mpi):
+            bufs = [mpi.alloc(dt.extent + 64) for _ in range(nmsg)]
+            for k, b in enumerate(bufs):
+                fill_blocks(mpi, b, dt, 1, seed=k)
+            reqs = []
+            for k, b in enumerate(bufs):
+                r = yield from mpi.isend(b, dt, 1, dest=1, tag=k)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+
+        def rank1(mpi):
+            bufs = [mpi.alloc(dt.extent + 64) for _ in range(nmsg)]
+            reqs = []
+            for k, b in enumerate(bufs):
+                r = yield from mpi.irecv(b, dt, 1, source=0, tag=k)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+            for k, b in enumerate(bufs):
+                check_blocks(mpi, b, dt, 1, seed=k)
+            return True
+
+        res = Cluster(2, scheme=scheme).run([rank0, rank1])
+        assert res.values[1] is True
+
+    def test_out_of_order_tags(self, scheme):
+        """Receiver posts tags in reverse order of sends."""
+        dt = types.contiguous(64, types.INT)
+
+        def rank0(mpi):
+            bufs = []
+            for k in range(3):
+                b = mpi.alloc(dt.extent)
+                mpi.node.memory.view(b, dt.extent)[:] = k + 1
+                bufs.append(b)
+            for k in range(3):
+                yield from mpi.send(bufs[k], dt, 1, dest=1, tag=k)
+
+        def rank1(mpi):
+            out = []
+            for k in reversed(range(3)):
+                b = mpi.alloc(dt.extent)
+                yield from mpi.recv(b, dt, 1, source=0, tag=k)
+                out.append(int(mpi.node.memory.view(b, 1)[0]))
+            return out  # received tag2, tag1, tag0 -> values 3, 2, 1
+
+        res = Cluster(2, scheme=scheme).run([rank0, rank1])
+        assert res.values[1] == [3, 2, 1]
+
+    def test_any_tag(self, scheme):
+        dt = types.contiguous(16, types.INT)
+
+        def rank0(mpi):
+            b = mpi.alloc(dt.extent)
+            yield from mpi.send(b, dt, 1, dest=1, tag=77)
+
+        def rank1(mpi):
+            b = mpi.alloc(dt.extent)
+            req = yield from mpi.recv(b, dt, 1, source=0, tag=ANY_TAG)
+            return req.status_tag
+
+        res = Cluster(2, scheme=scheme).run([rank0, rank1])
+        assert res.values[1] == 77
+
+
+class TestSelfMessages:
+    def test_send_to_self(self, scheme):
+        dt = types.vector(8, 4, 16, types.INT)
+
+        def rank0(mpi):
+            src = mpi.alloc(dt.extent + 64)
+            dst = mpi.alloc(dt.extent + 64)
+            fill_blocks(mpi, src, dt, 1)
+            sreq = yield from mpi.isend(src, dt, 1, dest=0, tag=1)
+            rreq = yield from mpi.irecv(dst, dt, 1, source=0, tag=1)
+            yield from mpi.waitall([sreq, rreq])
+            return check_blocks(mpi, dst, dt, 1)
+
+        res = Cluster(1, scheme=scheme).run([rank0])
+        assert res.values[0] is True
+
+
+class TestFlowControl:
+    def test_many_eager_messages_exceed_credits(self):
+        """200 eager messages (> the 64-credit window) still deliver."""
+        dt = types.contiguous(256, types.INT)  # 1 KB eager
+        nmsg = 200
+
+        def rank0(mpi):
+            b = mpi.alloc(dt.extent)
+            reqs = []
+            for k in range(nmsg):
+                mpi.node.memory.view(b, 4)[:] = k % 251
+                r = yield from mpi.isend(b, dt, 1, dest=1, tag=0)
+                reqs.append(r)
+            yield from mpi.waitall(reqs)
+
+        def rank1(mpi):
+            got = 0
+            b = mpi.alloc(dt.extent)
+            for _ in range(nmsg):
+                yield from mpi.recv(b, dt, 1, source=0, tag=0)
+                got += 1
+            return got
+
+        res = Cluster(2, scheme="bc-spup").run([rank0, rank1])
+        assert res.values[1] == nmsg
+
+
+class TestTimingSanity:
+    """Coarse timing-shape assertions (precise shapes: benchmarks/)."""
+
+    def _pingpong(self, scheme, cols, iters=4):
+        dt = types.vector(128, cols, 4096, types.INT)
+
+        def rank0(mpi):
+            a = mpi.alloc(dt.extent + 64)
+            t0 = None
+            for i in range(iters):
+                if i == 1:
+                    t0 = mpi.now
+                yield from mpi.send(a, dt, 1, dest=1, tag=0)
+                yield from mpi.recv(a, dt, 1, source=1, tag=1)
+            return (mpi.now - t0) / (iters - 1) / 2
+
+        def rank1(mpi):
+            b = mpi.alloc(dt.extent + 64)
+            for _ in range(iters):
+                yield from mpi.recv(b, dt, 1, source=0, tag=0)
+                yield from mpi.send(b, dt, 1, dest=0, tag=1)
+
+        return Cluster(2, scheme=scheme).run([rank0, rank1]).values[0]
+
+    def test_large_blocks_ordering(self):
+        """At 8 KB blocks: Multi-W < RWG-UP < BC-SPUP < Generic (Fig. 8)."""
+        t = {s: self._pingpong(s, 2048) for s in ("generic", "bc-spup", "rwg-up", "multi-w")}
+        assert t["multi-w"] < t["rwg-up"] < t["bc-spup"] < t["generic"]
+
+    def test_small_blocks_multiw_degrades(self):
+        """At 256 B blocks Multi-W is worse than Generic (Fig. 8)."""
+        t_multi = self._pingpong("multi-w", 64)
+        t_gen = self._pingpong("generic", 64)
+        assert t_multi > t_gen
+
+    def test_eager_identical_across_new_schemes(self):
+        """1-2 columns follow the eager path in all new schemes, with
+        identical times (Section 8.2), faster than Generic (Fig. 7)."""
+        times = {s: self._pingpong(s, 2) for s in ("bc-spup", "rwg-up", "multi-w")}
+        vals = list(times.values())
+        assert all(v == pytest.approx(vals[0]) for v in vals)
+        assert self._pingpong("generic", 2) > vals[0]
+
+    def test_bcspup_always_at_least_generic(self):
+        for cols in (8, 64, 512, 2048):
+            assert self._pingpong("bc-spup", cols) <= self._pingpong("generic", cols) * 1.01

@@ -1,0 +1,113 @@
+"""Tests for probe/iprobe and waitany."""
+
+import numpy as np
+import pytest
+
+from repro import ANY_TAG, Cluster, types
+
+
+class TestWaitany:
+    def test_returns_first_completion(self):
+        dt = types.contiguous(64, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield mpi.sim.timeout(100.0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=5)  # only tag 5 comes
+            yield mpi.sim.timeout(500.0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=6)
+
+        def rank1(mpi):
+            a = mpi.alloc(dt.extent)
+            b = mpi.alloc(dt.extent)
+            r5 = yield from mpi.irecv(a, dt, 1, source=0, tag=5)
+            r6 = yield from mpi.irecv(b, dt, 1, source=0, tag=6)
+            idx, req = yield from mpi.waitany([r6, r5])
+            first = (idx, req.tag)
+            yield from mpi.waitall([r5, r6])
+            return first
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == (1, 5)  # tag 5 finished first, index 1
+
+
+class TestProbe:
+    def test_iprobe_miss_and_hit(self):
+        dt = types.contiguous(16, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield mpi.sim.timeout(50.0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=9)
+
+        def rank1(mpi):
+            before = mpi.iprobe(0, 9)
+            # wait long enough for the unexpected message to arrive
+            yield mpi.sim.timeout(200.0)
+            after = mpi.iprobe(0, 9)
+            wrong_tag = mpi.iprobe(0, 10)
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=9)
+            return before, after, wrong_tag
+
+        res = Cluster(2).run([rank0, rank1])
+        before, after, wrong_tag = res.values[1]
+        assert before is None
+        assert after == (0, 9)
+        assert wrong_tag is None
+
+    def test_probe_blocks_until_arrival(self):
+        dt = types.contiguous(16, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield mpi.sim.timeout(300.0)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=3)
+
+        def rank1(mpi):
+            t0 = mpi.now
+            src, tag = yield from mpi.probe(0, ANY_TAG)
+            waited = mpi.now - t0
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=tag)
+            return src, tag, waited
+
+        res = Cluster(2).run([rank0, rank1])
+        src, tag, waited = res.values[1]
+        assert (src, tag) == (0, 3)
+        assert waited > 290.0
+
+    def test_probe_does_not_consume(self):
+        dt = types.contiguous(16, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            mpi.node.memory.view(buf, 4)[:] = 42
+            yield from mpi.send(buf, dt, 1, dest=1, tag=1)
+
+        def rank1(mpi):
+            yield from mpi.probe(0, 1)
+            hit = mpi.iprobe(0, 1)  # still there
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=1)
+            return hit, int(mpi.node.memory.view(buf, 1)[0])
+
+        res = Cluster(2).run([rank0, rank1])
+        assert res.values[1] == ((0, 1), 42)
+
+    def test_probe_rendezvous_start(self):
+        """Probing also sees large (rendezvous) messages."""
+        dt = types.vector(64, 256, 1024, types.INT)  # 64 KB
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.flatten(1).span + 64)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=8)
+
+        def rank1(mpi):
+            src, tag = yield from mpi.probe(0, ANY_TAG)
+            buf = mpi.alloc(dt.flatten(1).span + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=tag)
+            return src, tag
+
+        res = Cluster(2, scheme="bc-spup").run([rank0, rank1])
+        assert res.values[1] == (0, 8)

@@ -1,0 +1,151 @@
+"""Tests for gather/scatter/reduce/allreduce collectives."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_gather(self, root):
+        n, count = 4, 128
+        dt = types.contiguous(count, types.INT)
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.int32)
+            send.array[:] = mpi.rank * 10
+            recv = mpi.alloc_array((n, count), np.int32)
+            recv.array[:] = -1
+            yield from mpi.gather(send.addr, dt, 1, recv.addr, dt, 1, root)
+            if mpi.rank == root:
+                return [int(recv.array[i, 0]) for i in range(n)]
+            return None
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        assert res.values[root] == [0, 10, 20, 30]
+        assert all(v is None for i, v in enumerate(res.values) if i != root)
+
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_scatter(self, root):
+        n, count = 4, 64
+        dt = types.contiguous(count, types.INT)
+
+        def program(mpi):
+            send = mpi.alloc_array((n, count), np.int32)
+            if mpi.rank == root:
+                for j in range(n):
+                    send.array[j, :] = 100 + j
+            recv = mpi.alloc_array((count,), np.int32)
+            yield from mpi.scatter(send.addr, dt, 1, recv.addr, dt, 1, root)
+            return int(recv.array[0])
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        assert res.values == [100, 101, 102, 103]
+
+    def test_gather_noncontiguous_send(self):
+        n = 3
+        send_dt = types.vector(8, 2, 4, types.INT)  # 64 B data
+        recv_dt = types.contiguous(16, types.INT)
+
+        def program(mpi):
+            send = mpi.alloc(send_dt.extent + 64)
+            flat = send_dt.flatten(1)
+            for off, ln in flat.blocks():
+                mpi.node.memory.view(send + off, ln)[:] = mpi.rank + 1
+            recv = mpi.alloc_array((n, 16), np.int32)
+            yield from mpi.gather(send, send_dt, 1, recv.addr, recv_dt, 1, 0)
+            if mpi.rank == 0:
+                return [int(recv.array[i, 0]) for i in range(n)]
+
+        res = Cluster(n, scheme="rwg-up").run(program)
+        assert res.values[0] == [
+            0x01010101, 0x02020202, 0x03030303
+        ]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_reduce_sum(self, n):
+        count = 256
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.int64)
+            send.array[:] = mpi.rank + 1
+            recv = mpi.alloc_array((count,), np.int64)
+            yield from mpi.reduce(send.addr, recv.addr, count, np.int64, "sum", 0)
+            if mpi.rank == 0:
+                return int(recv.array[0]), int(recv.array[-1])
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        expect = n * (n + 1) // 2
+        assert res.values[0] == (expect, expect)
+
+    def test_reduce_max_min_prod(self):
+        n, count = 4, 16
+        for op, expect in (("max", 4), ("min", 1), ("prod", 24)):
+
+            def program(mpi, op=op):
+                send = mpi.alloc_array((count,), np.int64)
+                send.array[:] = mpi.rank + 1
+                recv = mpi.alloc_array((count,), np.int64)
+                yield from mpi.reduce(send.addr, recv.addr, count, np.int64, op, 0)
+                if mpi.rank == 0:
+                    return int(recv.array[0])
+
+            res = Cluster(n, scheme="multi-w").run(program)
+            assert res.values[0] == expect, op
+
+    def test_reduce_unknown_op(self):
+        def program(mpi):
+            send = mpi.alloc_array((4,), np.int64)
+            recv = mpi.alloc_array((4,), np.int64)
+            yield from mpi.reduce(send.addr, recv.addr, 4, np.int64, "xor", 0)
+
+        with pytest.raises(ValueError):
+            Cluster(2, scheme="bc-spup").run(program)
+
+    def test_reduce_nonroot_recv_untouched(self):
+        n, count = 3, 8
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.float64)
+            send.array[:] = 1.0
+            recv = mpi.alloc_array((count,), np.float64)
+            recv.array[:] = -7.0
+            yield from mpi.reduce(send.addr, recv.addr, count, np.float64, "sum", 0)
+            return float(recv.array[0])
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        assert res.values[0] == 3.0
+        assert res.values[1] == -7.0 and res.values[2] == -7.0
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_allreduce_sum(self, n):
+        count = 100
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.float64)
+            send.array[:] = float(mpi.rank)
+            recv = mpi.alloc_array((count,), np.float64)
+            yield from mpi.allreduce(send.addr, recv.addr, count, np.float64, "sum")
+            return float(recv.array[50])
+
+        res = Cluster(n, scheme="bc-spup").run(program)
+        expect = float(sum(range(n)))
+        assert all(v == expect for v in res.values)
+
+    def test_allreduce_large_payload_uses_rendezvous(self):
+        n, count = 4, 100_000  # 800 KB payload
+
+        def program(mpi):
+            send = mpi.alloc_array((count,), np.float64)
+            send.array[:] = 1.0
+            recv = mpi.alloc_array((count,), np.float64)
+            yield from mpi.allreduce(send.addr, recv.addr, count, np.float64, "sum")
+            return float(recv.array[-1])
+
+        res = Cluster(n, scheme="multi-w").run(program)
+        assert all(v == float(n) for v in res.values)

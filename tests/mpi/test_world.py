@@ -1,0 +1,156 @@
+"""Tests for Cluster construction, run semantics, and statistics."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, CostModel, types
+from repro.simulator import SimulationError
+
+
+class TestConstruction:
+    def test_bad_nranks(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            Cluster(2, scheme="warp-drive")
+
+    def test_contexts_have_full_mesh(self):
+        c = Cluster(4)
+        for ctx in c.contexts:
+            peers = {r for r in range(4) if r != ctx.rank}
+            assert set(ctx.ctrl_qps) == peers
+            assert set(ctx.data_qps) == peers
+
+    def test_custom_cost_model(self):
+        cm = CostModel.slow_network()
+        c = Cluster(2, cost_model=cm)
+        assert c.cm.wire_bandwidth == cm.wire_bandwidth
+
+
+class TestRun:
+    def test_same_program_everywhere(self):
+        def program(mpi):
+            yield mpi.sim.timeout(1.0)
+            return mpi.rank * 2
+
+        res = Cluster(3).run(program)
+        assert res.values == [0, 2, 4]
+
+    def test_program_count_mismatch(self):
+        def program(mpi):
+            yield mpi.sim.timeout(1.0)
+
+        with pytest.raises(ValueError, match="programs"):
+            Cluster(3).run([program, program])
+
+    def test_deadlock_detected(self):
+        dt = types.contiguous(4, types.INT)
+
+        def stuck(mpi):
+            buf = mpi.alloc(16)
+            # recv that never gets a message
+            yield from mpi.recv(buf, dt, 1, source=(mpi.rank + 1) % 2, tag=0)
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            Cluster(2).run(stuck)
+
+    def test_until_cutoff(self):
+        def slowpoke(mpi):
+            yield mpi.sim.timeout(1e9)
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            Cluster(1).run(slowpoke, until=100.0)
+
+    def test_run_result_value_accessor(self):
+        def program(mpi):
+            yield mpi.sim.timeout(1.0)
+            return "ok"
+
+        res = Cluster(1).run(program)
+        assert res.value(0) == "ok"
+        assert res.time_us == 1.0
+
+    def test_exception_in_program_propagates(self):
+        def bad(mpi):
+            yield mpi.sim.timeout(1.0)
+            raise RuntimeError("application bug")
+
+        with pytest.raises(RuntimeError, match="application bug"):
+            Cluster(1).run(bad)
+
+
+class TestSchemeRouting:
+    def test_contiguous_rendezvous_uses_zero_copy_path(self):
+        """Even under the Generic configuration, large contiguous sends
+        take the zero-copy (Multi-W) path, as MVAPICH does."""
+        dt = types.contiguous(100_000, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+        c = Cluster(2, scheme="generic")
+        c.run([rank0, rank1])
+        # the generic scheme's staging pools were never touched
+        gen0 = c.contexts[0].get_scheme("generic")
+        assert not gen0._pack_stage._free  # no staging buffer was created
+
+    def test_noncontiguous_uses_configured_scheme(self):
+        dt = types.vector(64, 64, 256, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+        c = Cluster(2, scheme="generic")
+        c.run([rank0, rank1])
+        gen0 = c.contexts[0].get_scheme("generic")
+        assert gen0._pack_stage._free  # staging was used and returned
+
+
+class TestStats:
+    def test_stats_shape(self):
+        dt = types.vector(64, 128, 512, types.INT)  # 32 KB -> rendezvous
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+        c = Cluster(2, scheme="multi-w")
+        c.run([rank0, rank1])
+        stats = c.stats()
+        assert stats["time_us"] > 0
+        assert stats["bytes_injected"][0] > 0
+        assert len(stats["cpu_busy_us"]) == 2
+        assert stats["dt_cache_misses"][0] == 1  # first layout shipment
+
+    def test_determinism_across_identical_clusters(self):
+        dt = types.vector(64, 16, 64, types.INT)
+
+        def rank0(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            return mpi.now
+
+        def rank1(mpi):
+            buf = mpi.alloc(dt.extent + 64)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            return mpi.now
+
+        t1 = Cluster(2, scheme="bc-spup").run([rank0, rank1]).values
+        t2 = Cluster(2, scheme="bc-spup").run([rank0, rank1]).values
+        assert t1 == t2

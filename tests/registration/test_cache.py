@@ -1,0 +1,158 @@
+"""Tests for the pin-down registration cache."""
+
+import pytest
+
+from repro.ib import CostModel, Fabric
+from repro.registration import RegistrationCache
+from repro.simulator import Simulator
+
+
+def make_node():
+    sim = Simulator()
+    fabric = Fabric(sim, CostModel.mellanox_2003())
+    return sim, fabric.add_node(1 << 24)
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+class TestHitsAndMisses:
+    def test_first_acquire_is_miss(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            mr = yield from cache.acquire(0, 4096)
+            return mr
+
+        mr = run(sim, prog())
+        assert cache.misses == 1 and cache.hits == 0
+        assert mr.covers(0, 4096)
+
+    def test_reacquire_is_free_hit(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            mr1 = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr1)
+            t0 = sim.now
+            mr2 = yield from cache.acquire(0, 4096)
+            return mr1, mr2, sim.now - t0
+
+        mr1, mr2, dt = run(sim, prog())
+        assert mr1 is mr2
+        assert dt == 0.0
+        assert cache.hits == 1
+
+    def test_containment_hit(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            big = yield from cache.acquire(0, 8192)
+            sub = yield from cache.acquire(100, 200)
+            return big, sub
+
+        big, sub = run(sim, prog())
+        assert sub is big
+        assert cache.hits == 1
+
+    def test_non_covering_is_miss(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            yield from cache.acquire(0, 4096)
+            yield from cache.acquire(4096, 4096)
+
+        run(sim, prog())
+        assert cache.misses == 2
+
+    def test_hit_rate(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+        assert cache.hit_rate == 0.0
+
+        def prog():
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+
+        run(sim, prog())
+        assert cache.hit_rate == 0.5
+
+
+class TestEviction:
+    def test_lru_eviction_over_budget(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=8192)
+
+        def prog():
+            a = yield from cache.acquire(0, 4096)
+            yield from cache.release(a)
+            b = yield from cache.acquire(4096, 4096)
+            yield from cache.release(b)
+            c = yield from cache.acquire(8192, 4096)  # evicts a (LRU)
+            yield from cache.release(c)
+            # 'a' must now be a miss again; 'b' still cached
+            yield from cache.acquire(4096, 4096)
+            hits_after_b = cache.hits
+            yield from cache.acquire(0, 4096)
+            return hits_after_b
+
+        hits_after_b = run(sim, prog())
+        assert hits_after_b == 1
+        assert cache.misses == 4  # a, b, c, a-again
+
+    def test_in_use_entries_not_evicted(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=4096)
+
+        def prog():
+            a = yield from cache.acquire(0, 4096)  # held, never released
+            yield from cache.acquire(4096, 4096)
+            return a
+
+        a = run(sim, prog())
+        # 'a' is still registered despite budget pressure
+        assert any(mr is a for mr in node.memory.registered_regions)
+
+    def test_capacity_zero_disables_cache(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=0)
+
+        def prog():
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+            t0 = sim.now
+            mr2 = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr2)
+            return sim.now - t0
+
+        dt = run(sim, prog())
+        assert cache.hits == 0
+        assert cache.misses == 2
+        # second acquire paid full registration again
+        assert dt >= node.cm.reg_time(4096)
+        # nothing left pinned
+        assert node.memory.registered_bytes == 0
+
+    def test_flush(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+            held = yield from cache.acquire(8192, 4096)
+            yield from cache.flush()
+            return held
+
+        held = run(sim, prog())
+        regions = node.memory.registered_regions
+        assert len(regions) == 1 and regions[0] is held

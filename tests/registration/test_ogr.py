@@ -1,0 +1,186 @@
+"""Tests for Optimistic Group Registration."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ib import CostModel, Fabric
+from repro.registration.ogr import GroupRegistration, plan_cost, plan_regions
+from repro.simulator import Simulator
+
+
+@pytest.fixture
+def cm():
+    return CostModel.mellanox_2003()
+
+
+def covers(regions, blocks):
+    return all(
+        any(ra <= a and a + l <= ra + rl for ra, rl in regions) for a, l in blocks
+    )
+
+
+class TestPlanRegions:
+    def test_empty(self, cm):
+        assert plan_regions([], cm) == []
+
+    def test_single_block(self, cm):
+        assert plan_regions([(100, 50)], cm) == [(100, 50)]
+
+    def test_small_gap_merged(self, cm):
+        # 1-page gap costs reg_per_page << reg_base: merge
+        blocks = [(0, 4096), (8192, 4096)]
+        plan = plan_regions(blocks, cm)
+        assert len(plan) == 1
+        assert covers(plan, blocks)
+
+    def test_huge_gap_kept_separate(self, cm):
+        # gap of 1000 pages costs 1000*reg_per_page >> reg_base: split
+        blocks = [(0, 4096), (4096 * 1001, 4096)]
+        plan = plan_regions(blocks, cm)
+        assert len(plan) == 2
+        assert covers(plan, blocks)
+
+    def test_threshold_gap(self, cm):
+        # merge exactly when pages(gap)*per_page < base
+        threshold_pages = int(cm.reg_base / cm.reg_per_page)
+        gap_small = (threshold_pages - 2) * cm.page_size
+        gap_big = (threshold_pages + 2) * cm.page_size
+        small = plan_regions([(0, 4096), (4096 + gap_small, 4096)], cm)
+        big = plan_regions([(0, 4096), (4096 + gap_big, 4096)], cm)
+        assert len(small) == 1
+        assert len(big) == 2
+
+    def test_adjacent_blocks_merge(self, cm):
+        plan = plan_regions([(0, 100), (100, 100)], cm)
+        assert plan == [(0, 200)]
+
+    def test_unsorted_input(self, cm):
+        plan = plan_regions([(8192, 100), (0, 100)], cm)
+        assert covers(plan, [(0, 100), (8192, 100)])
+        assert plan == sorted(plan)
+
+    def test_overlap_rejected(self, cm):
+        with pytest.raises(ValueError):
+            plan_regions([(0, 100), (50, 100)], cm)
+
+    def test_zero_length_blocks_dropped(self, cm):
+        assert plan_regions([(0, 0), (10, 5)], cm) == [(10, 5)]
+
+    def test_plan_beats_extremes(self, cm):
+        """OGR cost <= both naive strategies (Section 5.4.1)."""
+        blocks = [(i * 3 * 4096, 4096) for i in range(10)] + [
+            (4096 * 2000 + i * 4096 * 300, 2048) for i in range(5)
+        ]
+        plan = plan_regions(blocks, cm)
+        per_block = plan_cost(cm, blocks)
+        lo = min(a for a, _ in blocks)
+        hi = max(a + l for a, l in blocks)
+        whole = plan_cost(cm, [(lo, hi - lo)])
+        ours = plan_cost(cm, plan)
+        assert ours <= per_block
+        assert ours <= whole
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.integers(1, 16)), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_optimal_for_small_inputs(self, raw):
+        """For <= 8 blocks, greedy matches brute-force over all gap
+        merge/split decisions."""
+        cm = CostModel.mellanox_2003()
+        # build disjoint blocks in page units
+        blocks, pos = [], 0
+        for gap, length in raw:
+            pos += gap * cm.page_size
+            blocks.append((pos, length * cm.page_size))
+            pos += length * cm.page_size
+        plan = plan_regions(blocks, cm)
+        best = float("inf")
+        n = len(blocks)
+        for mask in itertools.product([0, 1], repeat=n - 1):
+            regions = [list(blocks[0])]
+            ok = True
+            for bit, (addr, length) in zip(mask, blocks[1:]):
+                if bit:
+                    regions[-1][1] = addr + length - regions[-1][0]
+                else:
+                    regions.append([addr, length])
+            best = min(best, plan_cost(cm, [(a, l) for a, l in regions]))
+        assert plan_cost(cm, plan) == pytest.approx(best)
+
+
+class TestGroupRegistration:
+    def _node(self):
+        sim = Simulator()
+        fabric = Fabric(sim, CostModel.mellanox_2003())
+        return sim, fabric.add_node(1 << 24)
+
+    def test_register_and_lookup(self):
+        sim, node = self._node()
+        blocks = [(0, 4096), (8192, 4096)]
+
+        def prog():
+            group = yield from GroupRegistration.register(node, blocks)
+            return group
+
+        p = sim.process(prog())
+        sim.run()
+        group = p.value
+        assert covers([(mr.addr, mr.length) for mr in group.regions], blocks)
+        mr = group.mr_for(8192, 100)
+        assert mr.covers(8192, 100)
+        assert group.lkey_for(0, 4096) == group.mr_for(0, 10).lkey
+
+    def test_lookup_miss_raises(self):
+        sim, node = self._node()
+
+        def prog():
+            group = yield from GroupRegistration.register(node, [(0, 4096)])
+            return group
+
+        p = sim.process(prog())
+        sim.run()
+        with pytest.raises(KeyError):
+            p.value.mr_for(1 << 20, 10)
+
+    def test_registration_charges_time(self):
+        sim, node = self._node()
+
+        def prog():
+            t0 = sim.now
+            yield from GroupRegistration.register(node, [(0, 1 << 20)])
+            return sim.now - t0
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value == pytest.approx(node.cm.reg_time(1 << 20))
+
+    def test_deregister_clears(self):
+        sim, node = self._node()
+
+        def prog():
+            group = yield from GroupRegistration.register(node, [(0, 4096)])
+            assert node.memory.registered_bytes == 4096
+            yield from group.deregister(node)
+            return group
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value.nregions == 0
+        assert node.memory.registered_bytes == 0
+
+    def test_registered_bytes_accounts_gaps(self):
+        sim, node = self._node()
+        blocks = [(0, 4096), (8192, 4096)]  # small gap -> merged
+
+        def prog():
+            return (yield from GroupRegistration.register(node, blocks))
+
+        p = sim.process(prog())
+        sim.run()
+        assert p.value.registered_bytes == 12288  # includes the gap page

@@ -1,0 +1,127 @@
+"""Tests for the pre-registered segment-buffer pools (Section 4.3.3)."""
+
+import pytest
+
+from repro.ib import CostModel, Fabric
+from repro.schemes.buffers import SegmentPool
+from repro.simulator import Simulator
+
+
+def make_node():
+    sim = Simulator()
+    fabric = Fabric(sim, CostModel.mellanox_2003())
+    return sim, fabric.add_node(256 << 20)
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+class TestSegmentPool:
+    def test_pool_acquire_is_free(self):
+        sim, node = make_node()
+        pool = SegmentPool(node, 1 << 20, 128 * 1024)
+
+        def prog():
+            t0 = sim.now
+            buf = yield from pool.acquire()
+            return buf, sim.now - t0
+
+        buf, dt = run(sim, prog())
+        assert dt == 0.0
+        assert not buf.dynamic
+        assert buf.size == 128 * 1024
+
+    def test_pool_buffers_are_registered(self):
+        sim, node = make_node()
+        pool = SegmentPool(node, 1 << 20, 128 * 1024)
+
+        def prog():
+            buf = yield from pool.acquire()
+            node.memory.check_local(buf.addr, buf.size, buf.lkey)
+            node.memory.check_remote(buf.addr, buf.size, buf.rkey)
+            return True
+
+        assert run(sim, prog())
+
+    def test_release_recycles(self):
+        sim, node = make_node()
+        pool = SegmentPool(node, 256 * 1024, 128 * 1024)  # 2 segments
+
+        def prog():
+            a = yield from pool.acquire()
+            b = yield from pool.acquire()
+            assert pool.available == 0
+            yield from pool.release(a)
+            c = yield from pool.acquire()
+            return a.addr == c.addr
+
+        assert run(sim, prog())
+
+    def test_exhaustion_falls_back_to_dynamic(self):
+        """Section 4.3.3: when the pool is used up, allocate + register
+        extra buffers dynamically (charged)."""
+        sim, node = make_node()
+        pool = SegmentPool(node, 128 * 1024, 128 * 1024)  # 1 segment
+
+        def prog():
+            a = yield from pool.acquire()
+            t0 = sim.now
+            b = yield from pool.acquire()  # dynamic fallback
+            cost = sim.now - t0
+            return a, b, cost
+
+        a, b, cost = run(sim, prog())
+        assert not a.dynamic and b.dynamic
+        assert cost >= node.cm.reg_time(128 * 1024)
+        assert pool.dynamic_acquires == 1
+
+    def test_dynamic_release_deregisters_beyond_growth_limit(self):
+        sim, node = make_node()
+        pool = SegmentPool(node, 128 * 1024, 128 * 1024,
+                           growth_limit=128 * 1024)  # no growth allowed
+
+        def prog():
+            a = yield from pool.acquire()
+            b = yield from pool.acquire()
+            before = node.memory.registered_bytes
+            yield from pool.release(b)
+            return before, node.memory.registered_bytes
+
+        before, after = run(sim, prog())
+        assert after == before - 128 * 1024
+
+    def test_dynamic_release_absorbed_under_growth_limit(self):
+        """Section 4.3.3: extra buffers join the pool, so a second burst
+        pays nothing."""
+        sim, node = make_node()
+        pool = SegmentPool(node, 128 * 1024, 128 * 1024)  # default 8x growth
+
+        def prog():
+            a = yield from pool.acquire()
+            b = yield from pool.acquire()  # dynamic
+            yield from pool.release(b)
+            t0 = sim.now
+            c = yield from pool.acquire()  # served from absorbed buffer
+            return b, c, sim.now - t0
+
+        b, c, dt = run(sim, prog())
+        assert dt == 0.0
+        assert c.addr == b.addr
+        assert not c.dynamic
+        assert pool.total_bytes == 256 * 1024
+
+    def test_disabled_pool_always_dynamic(self):
+        """The Figure 14 worst case: staging pools off."""
+        sim, node = make_node()
+        pool = SegmentPool(node, 1 << 20, 128 * 1024, enabled=False)
+
+        def prog():
+            buf = yield from pool.acquire()
+            return buf
+
+        buf = run(sim, prog())
+        assert buf.dynamic
+        assert pool.pool_acquires == 0

@@ -1,0 +1,112 @@
+"""Unit + property tests for the Multi-W common-refinement computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes.flatten import Flattened
+from repro.schemes.multiw import refine
+
+
+def flat(*blocks):
+    return Flattened.from_blocks(blocks)
+
+
+class TestRefine:
+    def test_identical_layouts(self):
+        f = flat((0, 4), (8, 4))
+        pieces = refine(f, 100, f, 200)
+        assert pieces == [(100, 200, 4), (108, 208, 4)]
+
+    def test_contiguous_to_blocks(self):
+        src = flat((0, 12))
+        dst = flat((0, 4), (8, 4), (16, 4))
+        pieces = refine(src, 0, dst, 0)
+        assert pieces == [(0, 0, 4), (4, 8, 4), (8, 16, 4)]
+
+    def test_blocks_to_contiguous(self):
+        src = flat((0, 4), (8, 4))
+        dst = flat((0, 8))
+        pieces = refine(src, 0, dst, 0)
+        assert pieces == [(0, 0, 4), (8, 4, 4)]
+
+    def test_misaligned_split(self):
+        src = flat((0, 6), (10, 6))
+        dst = flat((0, 4), (8, 8))
+        pieces = refine(src, 0, dst, 0)
+        # stream: src [0..6),[10..16) ; dst [0..4),[8..16)
+        assert pieces == [(0, 0, 4), (4, 8, 2), (10, 10, 6)]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            refine(flat((0, 4)), 0, flat((0, 8)), 0)
+
+    def test_empty(self):
+        assert refine(flat(), 0, flat(), 0) == []
+
+    @st.composite
+    @staticmethod
+    def two_partitions(draw):
+        """Two block lists carving the same total into different pieces."""
+        total = draw(st.integers(1, 200))
+
+        def partition():
+            blocks, pos, remaining = [], 0, total
+            while remaining > 0:
+                gap = draw(st.integers(0, 5))
+                ln = draw(st.integers(1, remaining))
+                pos += gap
+                blocks.append((pos, ln))
+                pos += ln
+                remaining -= ln
+            return Flattened.from_blocks(blocks)
+
+        return partition(), partition()
+
+    @given(two_partitions())
+    @settings(max_examples=100, deadline=None)
+    def test_refinement_properties(self, pair):
+        src, dst = pair
+        pieces = refine(src, 1000, dst, 5000)
+        # total bytes preserved
+        assert sum(p[2] for p in pieces) == src.size
+        # every piece is inside a source block and a destination block
+        src_blocks = [(1000 + o, l) for o, l in src.blocks()]
+        dst_blocks = [(5000 + o, l) for o, l in dst.blocks()]
+        for s_addr, d_addr, ln in pieces:
+            assert any(a <= s_addr and s_addr + ln <= a + l for a, l in src_blocks)
+            assert any(a <= d_addr and d_addr + ln <= a + l for a, l in dst_blocks)
+        # stream order is preserved: walking pieces covers the source
+        # stream in order
+        walked = 0
+        for s_addr, _d, ln in pieces:
+            # position of s_addr in the source stream
+            pos = 0
+            for a, l in src_blocks:
+                if a <= s_addr < a + l:
+                    pos += s_addr - a
+                    break
+                pos += l
+            assert pos == walked
+            walked += ln
+
+    @given(two_partitions())
+    @settings(max_examples=50, deadline=None)
+    def test_refinement_moves_stream_correctly(self, pair):
+        """Simulated copy through the pieces equals pack->unpack."""
+        src, dst = pair
+        total_span = max(src.span, dst.span) + 16
+        src_mem = np.random.default_rng(0).integers(
+            0, 255, total_span, dtype=np.uint8
+        )
+        dst_mem = np.zeros(total_span, dtype=np.uint8)
+        for s_addr, d_addr, ln in refine(src, 0, dst, 0):
+            dst_mem[d_addr : d_addr + ln] = src_mem[s_addr : s_addr + ln]
+        src_stream = np.concatenate(
+            [src_mem[o : o + l] for o, l in src.blocks()]
+        ) if src.nblocks else np.empty(0, np.uint8)
+        dst_stream = np.concatenate(
+            [dst_mem[o : o + l] for o, l in dst.blocks()]
+        ) if dst.nblocks else np.empty(0, np.uint8)
+        assert np.array_equal(src_stream, dst_stream)

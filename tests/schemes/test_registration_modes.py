@@ -1,0 +1,165 @@
+"""Tests for the three user-buffer registration strategies (Section 5.4.1)."""
+
+import pytest
+
+from repro import Cluster, types
+from repro.ib import CostModel, Fabric
+from repro.mpi.world import Cluster as _Cluster
+from repro.schemes.base import RegisteredUserBuffer
+from repro.simulator import Simulator
+from tests.mpi.helpers import check_blocks, fill_blocks
+
+
+def make_ctx(reg_cache_bytes=0):
+    cluster = Cluster(2, reg_cache_bytes=reg_cache_bytes)
+    return cluster, cluster.contexts[0]
+
+
+def run_ctx(cluster, gen):
+    p = cluster.sim.process(gen)
+    cluster.sim.run()
+    return p.value
+
+
+# a vector with large gaps: 4 blocks of 1 page, 100 pages apart
+GAPPY = types.hvector(4, 1024, 100 * 4096, types.INT)
+# a vector with tiny gaps: mergeable by OGR
+DENSE = types.vector(16, 512, 1024, types.INT)
+
+
+class TestModes:
+    def test_per_block_registers_each_block(self):
+        cluster, ctx = make_ctx()
+        base = ctx.alloc(GAPPY.flatten(1).span + 64)
+
+        def prog():
+            reg = yield from RegisteredUserBuffer.acquire(
+                ctx, base, GAPPY.flatten(1), mode="per-block"
+            )
+            return reg
+
+        reg = run_ctx(cluster, prog())
+        assert len(reg.regions()) == 4
+
+    def test_whole_registers_span(self):
+        cluster, ctx = make_ctx()
+        flat = GAPPY.flatten(1)
+        base = ctx.alloc(flat.span + 64)
+
+        def prog():
+            reg = yield from RegisteredUserBuffer.acquire(
+                ctx, base, flat, mode="whole"
+            )
+            return reg
+
+        reg = run_ctx(cluster, prog())
+        regions = reg.regions()
+        assert len(regions) == 1
+        assert regions[0][1] == flat.span
+
+    def test_ogr_merges_dense_keeps_gappy_separate(self):
+        cluster, ctx = make_ctx()
+
+        def prog(dt):
+            base = ctx.alloc(dt.flatten(1).span + 64)
+            reg = yield from RegisteredUserBuffer.acquire(
+                ctx, base, dt.flatten(1), mode="ogr"
+            )
+            return reg
+
+        dense = run_ctx(cluster, prog(DENSE))
+        assert len(dense.regions()) == 1
+        gappy = run_ctx(cluster, prog(GAPPY))
+        assert len(gappy.regions()) == 4
+
+    def test_unknown_mode_rejected(self):
+        cluster, ctx = make_ctx()
+        base = ctx.alloc(DENSE.flatten(1).span + 64)
+
+        def prog():
+            yield from RegisteredUserBuffer.acquire(
+                ctx, base, DENSE.flatten(1), mode="psychic"
+            )
+
+        with pytest.raises(ValueError):
+            run_ctx(cluster, prog())
+
+    def test_lkey_lookup_and_release(self):
+        cluster, ctx = make_ctx()
+        flat = DENSE.flatten(1)
+        base = ctx.alloc(flat.span + 64)
+
+        def prog():
+            reg = yield from RegisteredUserBuffer.acquire(ctx, base, flat)
+            first_off, first_len = next(flat.blocks())
+            lkey = reg.lkey_for(base + first_off, first_len)
+            yield from reg.release(ctx)
+            return lkey
+
+        lkey = run_ctx(cluster, prog())
+        assert lkey > 0
+        assert ctx.node.memory.registered_bytes == _infrastructure_bytes(ctx)
+
+    def test_empty_flat_registers_nothing(self):
+        cluster, ctx = make_ctx()
+        from repro.datatypes.flatten import Flattened
+
+        def prog():
+            reg = yield from RegisteredUserBuffer.acquire(
+                ctx, 0, Flattened.empty()
+            )
+            return reg
+
+        reg = run_ctx(cluster, prog())
+        assert reg.regions() == []
+
+
+def _infrastructure_bytes(ctx):
+    """Bytes registered by MPI_Init (slots), which never go away."""
+    per_peer = 64 * ctx._slot_size
+    send_slots = 128 * ctx._slot_size
+    return per_peer * (ctx.nranks - 1) + send_slots
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("mode", ["ogr", "per-block", "whole"])
+    def test_rwgup_correct_under_all_modes(self, mode):
+        dt = types.vector(64, 256, 1024, types.INT)
+        cluster = Cluster(
+            2, scheme="rwg-up", scheme_options={"registration_mode": mode}
+        )
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            fill_blocks(mpi, buf, dt, 1)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            return check_blocks(mpi, buf, dt, 1)
+
+        res = cluster.run([rank0, rank1])
+        assert res.values[1] is True
+
+    @pytest.mark.parametrize("mode", ["ogr", "per-block", "whole"])
+    def test_multiw_correct_under_all_modes(self, mode):
+        dt = types.vector(32, 1024, 4096, types.INT)
+        cluster = Cluster(
+            2, scheme="multi-w", scheme_options={"registration_mode": mode}
+        )
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            fill_blocks(mpi, buf, dt, 1)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            return check_blocks(mpi, buf, dt, 1)
+
+        res = cluster.run([rank0, rank1])
+        assert res.values[1] is True

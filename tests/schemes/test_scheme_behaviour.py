@@ -1,0 +1,250 @@
+"""Behavioural tests for scheme-specific mechanisms: the datatype cache
+on the wire, list descriptor post, segment unpack, adaptive selection."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, types
+from tests.mpi.helpers import check_blocks, fill_blocks
+
+
+def repeat_transfer(scheme, dt, iters, cluster_kwargs=None, scheme_options=None):
+    """Send (dt, 1) from rank0 to rank1 ``iters`` times; returns cluster
+    and per-iteration times."""
+    cluster = Cluster(
+        2, scheme=scheme, scheme_options=scheme_options or {},
+        **(cluster_kwargs or {}),
+    )
+    span = dt.flatten(1).span + 64
+
+    def rank0(mpi):
+        a = mpi.alloc(span)
+        fill_blocks(mpi, a, dt, 1)
+        stamps = []
+        for k in range(iters):
+            t0 = mpi.now
+            yield from mpi.send(a, dt, 1, dest=1, tag=k)
+            # wait for an ack so iterations do not pipeline
+            ack = mpi.alloc(8)
+            yield from mpi.recv(ack, types.contiguous(1, types.INT), 1, source=1, tag=1000 + k)
+            stamps.append(mpi.now - t0)
+        return stamps
+
+    def rank1(mpi):
+        b = mpi.alloc(span)
+        ack = mpi.alloc(8)
+        for k in range(iters):
+            yield from mpi.recv(b, dt, 1, source=0, tag=k)
+            yield from mpi.send(ack, types.contiguous(1, types.INT), 1, dest=0, tag=1000 + k)
+        check_blocks(mpi, b, dt, 1)
+        return True
+
+    res = cluster.run([rank0, rank1])
+    assert res.values[1] is True
+    return cluster, res.values[0]
+
+
+BIG_VECTOR = types.vector(128, 512, 4096, types.INT)  # 256 KB, 2 KB blocks
+
+
+class TestDatatypeCacheOnWire:
+    def test_second_multiw_send_uses_ref(self):
+        cluster, times = repeat_transfer("multi-w", BIG_VECTOR, 3)
+        sender = cluster.contexts[0]
+        assert sender.dt_cache.misses == 1  # full layout once
+        assert sender.dt_cache.hits == 2  # refs afterwards
+
+    def test_cached_layout_is_faster(self):
+        _cluster, times = repeat_transfer("multi-w", BIG_VECTOR, 3)
+        # first iteration ships the layout + registers buffers
+        assert times[0] > times[1]
+        assert times[1] == pytest.approx(times[2], rel=0.05)
+
+    def test_different_datatype_resends_layout(self):
+        cluster = Cluster(2, scheme="multi-w")
+        dt1 = types.vector(64, 512, 1024, types.INT)
+        dt2 = types.vector(128, 256, 512, types.INT)
+        span = max(dt1.flatten(1).span, dt2.flatten(1).span) + 64
+
+        def rank0(mpi):
+            a = mpi.alloc(span)
+            yield from mpi.send(a, dt1, 1, dest=1, tag=0)
+            yield from mpi.send(a, dt2, 1, dest=1, tag=1)
+            yield from mpi.send(a, dt1, 1, dest=1, tag=2)
+
+        def rank1(mpi):
+            b = mpi.alloc(span)
+            yield from mpi.recv(b, dt1, 1, source=0, tag=0)
+            yield from mpi.recv(b, dt2, 1, source=0, tag=1)
+            yield from mpi.recv(b, dt1, 1, source=0, tag=2)
+
+        cluster.run([rank0, rank1])
+        sender = cluster.contexts[0]
+        assert sender.dt_cache.misses == 2  # dt1 and dt2 layouts
+        assert sender.dt_cache.hits == 1  # dt1 reused
+
+
+class TestDatatypeCacheVersioning:
+    def test_index_reuse_forces_full_resend_end_to_end(self):
+        """Section 5.4.2's free/reuse case through the wire: with a
+        1-entry receiver handle table, alternating datatypes reuse the
+        index with a version bump, so every reply ships a full layout."""
+        from repro.mpi.datatype_cache import ReceiverTypeRegistry
+
+        dt1 = types.vector(64, 512, 1024, types.INT)
+        dt2 = types.vector(128, 256, 512, types.INT)
+        cluster = Cluster(2, scheme="multi-w")
+        cluster.contexts[1].type_registry = ReceiverTypeRegistry(max_indices=1)
+        span = max(dt1.flatten(1).span, dt2.flatten(1).span) + 64
+
+        def rank0(mpi):
+            a = mpi.alloc(span)
+            yield from mpi.send(a, dt1, 1, dest=1, tag=0)
+            yield from mpi.send(a, dt2, 1, dest=1, tag=1)
+            yield from mpi.send(a, dt1, 1, dest=1, tag=2)
+
+        def rank1(mpi):
+            b = mpi.alloc(span)
+            yield from mpi.recv(b, dt1, 1, source=0, tag=0)
+            yield from mpi.recv(b, dt2, 1, source=0, tag=1)
+            yield from mpi.recv(b, dt1, 1, source=0, tag=2)
+
+        cluster.run([rank0, rank1])
+        sender = cluster.contexts[0]
+        # the single index is reused with version bumps: never a ref
+        assert sender.dt_cache.misses == 3
+        assert sender.dt_cache.hits == 0
+
+
+class TestListDescriptorPost:
+    def test_list_post_faster_at_small_blocks(self):
+        """Figure 13: list post wins when per-descriptor CPU post cost
+        rivals the per-descriptor wire time."""
+        dt = types.vector(128, 32, 4096, types.INT)  # 128 B blocks
+        _c, single = repeat_transfer(
+            "multi-w", dt, 3, scheme_options={"list_post": False}
+        )
+        _c, listed = repeat_transfer(
+            "multi-w", dt, 3, scheme_options={"list_post": True}
+        )
+        assert listed[-1] < single[-1]
+
+    def test_list_post_negligible_at_large_blocks(self):
+        dt = types.vector(32, 8192, 16384, types.INT)  # 32 KB blocks
+        _c, single = repeat_transfer(
+            "multi-w", dt, 3, scheme_options={"list_post": False}
+        )
+        _c, listed = repeat_transfer(
+            "multi-w", dt, 3, scheme_options={"list_post": True}
+        )
+        # wire time dominates; a tiny inversion is possible because the
+        # single post lets the HCA start on the first descriptor earlier
+        assert abs(single[-1] - listed[-1]) / single[-1] < 0.03
+
+
+class TestSegmentUnpack:
+    def test_segment_unpack_faster(self):
+        """Figure 12: unpacking per segment overlaps communication."""
+        dt = types.vector(256, 1024, 2048, types.INT)  # 1 MB
+        _c, seg = repeat_transfer(
+            "rwg-up", dt, 3, scheme_options={"segment_unpack": True}
+        )
+        _c, whole = repeat_transfer(
+            "rwg-up", dt, 3, scheme_options={"segment_unpack": False}
+        )
+        assert seg[-1] < whole[-1]
+
+    def test_both_modes_correct(self):
+        dt = types.vector(64, 256, 512, types.INT)
+        for flag in (True, False):
+            _c, _t = repeat_transfer(
+                "rwg-up", dt, 2, scheme_options={"segment_unpack": flag}
+            )
+
+
+class TestAdaptiveSelection:
+    def _choices(self, dt, **cluster_kwargs):
+        cluster = Cluster(2, scheme="adaptive", **cluster_kwargs)
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            a = mpi.alloc(span)
+            yield from mpi.send(a, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            b = mpi.alloc(span)
+            yield from mpi.recv(b, dt, 1, source=0, tag=0)
+
+        cluster.run([rank0, rank1])
+        sel = cluster.contexts[0].get_scheme("adaptive")
+        return list(sel.choices.values())
+
+    def test_large_blocks_pick_multiw(self):
+        dt = types.vector(64, 2048, 4096, types.INT)  # 8 KB blocks
+        assert self._choices(dt) == ["multi-w"]
+
+    def test_medium_blocks_pick_rwgup(self):
+        dt = types.vector(128, 256, 4096, types.INT)  # 1 KB blocks
+        assert self._choices(dt) == ["rwg-up"]
+
+    def test_tiny_blocks_pick_bcspup(self):
+        dt = types.vector(4096, 8, 64, types.INT)  # 32 B blocks
+        assert self._choices(dt) == ["bc-spup"]
+
+    def test_no_registration_cache_prefers_bcspup(self):
+        """Section 6: when registration cannot be amortized, stay with
+        the pack/unpack approach."""
+        dt = types.vector(64, 2048, 4096, types.INT)
+        assert self._choices(dt, reg_cache_bytes=0) == ["bc-spup"]
+
+    def test_buffer_reuse_hint(self):
+        dt = types.vector(64, 2048, 4096, types.INT)
+        cluster = Cluster(
+            2, scheme="adaptive", scheme_options={"buffer_reuse": False}
+        )
+        span = dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            a = mpi.alloc(span)
+            yield from mpi.send(a, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            b = mpi.alloc(span)
+            yield from mpi.recv(b, dt, 1, source=0, tag=0)
+
+        cluster.run([rank0, rank1])
+        sel = cluster.contexts[0].get_scheme("adaptive")
+        assert list(sel.choices.values()) == ["bc-spup"]
+
+    def test_adaptive_never_loses_badly(self):
+        """The selector (a block-size heuristic, Section 6) should stay
+        within 25% of the best fixed scheme in every block-size regime,
+        and always beat Generic."""
+        for dt in (
+            types.vector(64, 2048, 4096, types.INT),
+            types.vector(128, 256, 4096, types.INT),
+            types.vector(2048, 8, 64, types.INT),
+        ):
+            times = {}
+            for scheme in ("generic", "bc-spup", "rwg-up", "multi-w", "adaptive"):
+                _c, t = repeat_transfer(scheme, dt, 3)
+                times[scheme] = t[-1]
+            best_fixed = min(v for k, v in times.items() if k != "adaptive")
+            assert times["adaptive"] <= best_fixed * 1.25
+            assert times["adaptive"] <= times["generic"]
+
+
+class TestPRRS:
+    def test_prrs_slower_than_rwgup(self):
+        """Section 5.2's prediction: P-RRS trails RWG-UP (read latency +
+        per-segment control messages)."""
+        dt = types.vector(256, 1024, 2048, types.INT)
+        _c, prrs = repeat_transfer("p-rrs", dt, 3)
+        _c, rwg = repeat_transfer("rwg-up", dt, 3)
+        assert prrs[-1] > rwg[-1]
+
+    def test_prrs_useful_for_asymmetric(self):
+        """P-RRS eliminates the receiver-side copy entirely when only the
+        receiver is noncontiguous."""
+        _c, t = repeat_transfer("p-rrs", types.vector(64, 64, 128, types.INT), 2)
+        assert t[-1] > 0

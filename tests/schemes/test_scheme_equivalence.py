@@ -1,0 +1,90 @@
+"""End-to-end property test: every scheme is functionally identical.
+
+Hypothesis generates random (sender layout, receiver layout) pairs of
+equal type-signature size; a transfer through every scheme must deposit
+the sender's packed stream into the receiver's blocks, bit for bit.
+Schemes may only differ in simulated time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, types
+from repro.ib.costmodel import MB
+
+SCHEMES = ("generic", "bc-spup", "rwg-up", "p-rrs", "multi-w", "hybrid")
+
+
+@st.composite
+def layout_pair(draw):
+    """Two datatypes with the same data size but different block shapes."""
+    # total size in 4-byte units; spans eager and (small) rendezvous
+    total_ints = draw(st.sampled_from([16, 512, 4096]))
+
+    def one_layout():
+        kind = draw(st.sampled_from(["vector", "hindexed", "contig"]))
+        if kind == "contig":
+            return types.contiguous(total_ints, types.INT)
+        if kind == "vector":
+            # pick a blocklength dividing the total
+            divisors = [d for d in (1, 2, 4, 8, 16) if total_ints % d == 0]
+            bl = draw(st.sampled_from(divisors))
+            count = total_ints // bl
+            stride = bl + draw(st.integers(0, 4))
+            return types.vector(count, bl, stride, types.INT)
+        # hindexed with random gaps, random block sizes summing to total
+        lengths, remaining = [], total_ints
+        while remaining > 0:
+            ln = draw(st.integers(1, remaining))
+            lengths.append(ln)
+            remaining -= ln
+            if len(lengths) >= 12:
+                lengths[-1] += remaining
+                remaining = 0
+        disps, pos = [], 0
+        for ln in lengths:
+            pos += draw(st.integers(0, 64))
+            disps.append(pos)
+            pos += ln * 4
+        return types.hindexed(lengths, disps, types.INT)
+
+    return one_layout(), one_layout()
+
+
+class TestSchemeEquivalence:
+    @given(layout_pair(), st.sampled_from(SCHEMES))
+    @settings(max_examples=40, deadline=None)
+    def test_any_scheme_delivers_identical_stream(self, pair, scheme):
+        send_dt, recv_dt = pair
+        assert send_dt.size == recv_dt.size
+        nbytes = send_dt.size
+        stream = np.random.default_rng(nbytes).integers(
+            0, 255, nbytes, dtype=np.uint8
+        )
+        span_s = send_dt.flatten(1).span + 64
+        span_r = recv_dt.flatten(1).span + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span_s)
+            pos = 0
+            for off, ln in send_dt.flatten(1).blocks():
+                mpi.node.memory.view(buf + off, ln)[:] = stream[pos : pos + ln]
+                pos += ln
+            yield from mpi.send(buf, send_dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span_r)
+            yield from mpi.recv(buf, recv_dt, 1, source=0, tag=0)
+            got = np.concatenate(
+                [
+                    mpi.node.memory.view(buf + off, ln)
+                    for off, ln in recv_dt.flatten(1).blocks()
+                ]
+            ) if recv_dt.flatten(1).nblocks else np.empty(0, np.uint8)
+            return bool(np.array_equal(got, stream))
+
+        cluster = Cluster(2, scheme=scheme, memory_per_rank=128 * MB)
+        res = cluster.run([rank0, rank1])
+        assert res.values[1] is True, f"{scheme} corrupted the stream"

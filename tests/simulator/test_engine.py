@@ -1,0 +1,345 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_initial_state(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        sim.run()
+        assert ev.processed
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_raises_on_value_access(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        sim.run()
+        with pytest.raises(ValueError):
+            _ = ev.value
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_delayed_succeed(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(sim.now))
+        ev.succeed(delay=7.5)
+        sim.run()
+        assert seen == [7.5]
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        def proc(sim):
+            yield sim.timeout(10.0)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 10.0
+
+    def test_zero_delay_ok(self, sim):
+        def proc(sim):
+            yield sim.timeout(0.0)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="hello")
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "hello"
+
+
+class TestOrdering:
+    def test_same_time_fifo(self, sim):
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(5.0)
+            order.append(tag)
+
+        for tag in range(5):
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_earlier_event_first(self, sim):
+        order = []
+
+        def proc(sim, delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(proc(sim, 10.0, "late"))
+        sim.process(proc(sim, 1.0, "early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_run_until(self, sim):
+        ticks = []
+
+        def ticker(sim):
+            while True:
+                yield sim.timeout(1.0)
+                ticks.append(sim.now)
+
+        sim.process(ticker(sim))
+        sim.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert sim.now == 5.5
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(3.0)
+        assert sim.peek() == 3.0
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "done"
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(4.0)
+            return 99
+
+        def parent(sim):
+            got = yield sim.process(child(sim))
+            return (sim.now, got)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (4.0, 99)
+
+    def test_waiting_on_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+
+        def late(sim):
+            yield sim.timeout(10.0)
+            got = yield ev
+            return got
+
+        p = sim.process(late(sim))
+        sim.run()
+        assert p.value == "early"
+
+    def test_yield_non_event_is_error(self, sim):
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unhandled_exception_aborts_run(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("kaput")
+
+        sim.process(bad(sim))
+        with pytest.raises(RuntimeError, match="kaput"):
+            sim.run()
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        def parent(sim):
+            try:
+                yield sim.process(bad(sim))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "caught inner"
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+    def test_is_alive(self, sim):
+        def proc(sim):
+            yield sim.timeout(5.0)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as irq:
+                return ("interrupted", irq.cause, sim.now)
+
+        def interrupter(sim, victim):
+            yield sim.timeout(3.0)
+            victim.interrupt("wakeup")
+
+        victim = sim.process(sleeper(sim))
+        sim.process(interrupter(sim, victim))
+        sim.run()
+        assert victim.value == ("interrupted", "wakeup", 3.0)
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_values_in_order(self, sim):
+        def proc(sim, delay, val):
+            yield sim.timeout(delay)
+            return val
+
+        def parent(sim):
+            ps = [sim.process(proc(sim, d, v)) for d, v in [(5, "a"), (1, "b")]]
+            vals = yield sim.all_of(ps)
+            return (sim.now, vals)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (5.0, ["a", "b"])
+
+    def test_all_of_empty(self, sim):
+        def parent(sim):
+            vals = yield sim.all_of([])
+            return vals
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == []
+
+    def test_any_of_first_wins(self, sim):
+        def proc(sim, delay, val):
+            yield sim.timeout(delay)
+            return val
+
+        def parent(sim):
+            fast = sim.process(proc(sim, 1, "fast"))
+            slow = sim.process(proc(sim, 9, "slow"))
+            ev, val = yield sim.any_of([fast, slow])
+            return (sim.now, val, ev is fast)
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == (1.0, "fast", True)
+
+    def test_all_of_propagates_failure(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("nope")
+
+        def ok(sim):
+            yield sim.timeout(2.0)
+
+        def parent(sim):
+            try:
+                yield sim.all_of([sim.process(bad(sim)), sim.process(ok(sim))])
+            except ValueError:
+                return "failed"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "failed"
+
+    def test_all_of_with_pre_triggered_event(self, sim):
+        ev = sim.event()
+        ev.succeed(7)
+
+        def parent(sim):
+            t = sim.timeout(2.0, value=8)
+            vals = yield sim.all_of([ev, t])
+            return vals
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == [7, 8]
+
+    def test_condition_rejects_non_event(self, sim):
+        with pytest.raises(TypeError):
+            AllOf(sim, [42])
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        def make_trace():
+            sim = Simulator()
+            trace = []
+
+            def worker(sim, tag, delays):
+                for d in delays:
+                    yield sim.timeout(d)
+                    trace.append((sim.now, tag))
+
+            sim.process(worker(sim, "a", [1, 1, 3]))
+            sim.process(worker(sim, "b", [2, 1, 2]))
+            sim.process(worker(sim, "c", [1, 2, 2]))
+            sim.run()
+            return trace
+
+        assert make_trace() == make_trace()

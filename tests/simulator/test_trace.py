@@ -1,0 +1,87 @@
+"""Unit tests for the tracer's interval arithmetic."""
+
+from repro.simulator import Tracer
+
+
+def make_tracer(records):
+    tr = Tracer(enabled=True)
+    for rec in records:
+        tr.record(*rec)
+    return tr
+
+
+class TestTracer:
+    def test_disabled_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.record(0, 1, 0, "cpu")
+        assert tr.records == []
+
+    def test_total_time(self):
+        tr = make_tracer([(0, 5, 0, "cpu"), (3, 9, 0, "cpu"), (0, 2, 0, "wire")])
+        assert tr.total_time("cpu") == 11.0
+        assert tr.total_time("wire") == 2.0
+
+    def test_total_time_filters_node(self):
+        tr = make_tracer([(0, 5, 0, "cpu"), (0, 3, 1, "cpu")])
+        assert tr.total_time("cpu", node=0) == 5.0
+        assert tr.total_time("cpu", node=1) == 3.0
+
+    def test_busy_time_merges_overlaps(self):
+        tr = make_tracer([(0, 5, 0, "cpu"), (3, 9, 0, "cpu"), (20, 21, 0, "cpu")])
+        assert tr.busy_time("cpu") == 10.0
+
+    def test_busy_time_touching_intervals(self):
+        tr = make_tracer([(0, 5, 0, "cpu"), (5, 8, 0, "cpu")])
+        assert tr.busy_time("cpu") == 8.0
+
+    def test_busy_time_empty(self):
+        tr = Tracer(enabled=True)
+        assert tr.busy_time("cpu") == 0.0
+
+    def test_overlap_time(self):
+        tr = make_tracer(
+            [
+                (0, 10, 0, "pack"),
+                (5, 15, 0, "wire"),
+                (20, 30, 0, "pack"),
+                (25, 26, 0, "wire"),
+            ]
+        )
+        assert tr.overlap_time("pack", "wire") == 6.0
+
+    def test_overlap_time_disjoint(self):
+        tr = make_tracer([(0, 5, 0, "pack"), (5, 10, 0, "wire")])
+        assert tr.overlap_time("pack", "wire") == 0.0
+
+    def test_clear(self):
+        tr = make_tracer([(0, 5, 0, "cpu")])
+        tr.clear()
+        assert tr.records == []
+
+    def test_record_fields(self):
+        tr = make_tracer([(1.0, 2.0, 3, "reg", "mr0", {"pages": 4})])
+        rec = tr.records[0]
+        assert rec.duration == 1.0
+        assert rec.node == 3
+        assert rec.detail == "mr0"
+        assert rec.meta == {"pages": 4}
+
+    def test_summary(self):
+        tr = make_tracer([(0, 5, 0, "cpu"), (3, 9, 0, "cpu"), (0, 2, 1, "wire")])
+        s = tr.summary()
+        assert s["cpu"]["total"] == 11.0
+        assert s["cpu"]["busy"] == 9.0
+        assert s["cpu"]["count"] == 2
+        assert s["wire"]["count"] == 1
+        s0 = tr.summary(node=0)
+        assert "wire" not in s0
+
+    def test_to_csv(self, tmp_path):
+        import csv
+
+        tr = make_tracer([(0.0, 5.0, 0, "cpu", "pack")])
+        path = str(tmp_path / "t" / "trace.csv")
+        tr.to_csv(path)
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["start", "end", "node", "category", "detail"]
+        assert rows[1] == ["0.0", "5.0", "0", "cpu", "pack"]

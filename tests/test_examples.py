@@ -1,0 +1,27 @@
+"""Every example script must run to completion and self-verify."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "halo_exchange_2d.py", "matrix_transpose_alltoall.py",
+     "adaptive_selection.py", "noncontig_file_io.py",
+     "pipeline_visualization.py", "one_sided_halo.py", "particle_exchange.py"],
+)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
