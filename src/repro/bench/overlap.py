@@ -15,6 +15,7 @@ from typing import Optional
 from repro.datatypes import Datatype
 from repro.ib.costmodel import MB
 from repro.mpi.world import Cluster
+from repro.obs.spans import overlap_us
 
 __all__ = ["OverlapReport", "measure_overlap"]
 
@@ -81,38 +82,16 @@ def measure_overlap(
     # wire activity seen from either side of the link: sender injections
     # plus inbound DMA (same intervals shifted by the latency), so a
     # single category per node suffices
+    # wire intervals are recorded on the sender (node 0); the receiver's
+    # inbound DMA mirrors them one switch latency later, which is
+    # negligible at the granularity of this analysis
     return OverlapReport(
         scheme=scheme,
         total_us=result.time_us,
         pack_us=tracer.total_time("pack", node=0)
         + tracer.total_time("user-pack", node=0),
-        pack_overlapped_us=tracer.overlap_time("pack", "wire", node=0),
+        pack_overlapped_us=overlap_us(tracer, ("pack", 0), ("wire", 0)),
         unpack_us=tracer.total_time("unpack", node=1),
-        unpack_overlapped_us=_unpack_wire_overlap(tracer),
+        unpack_overlapped_us=overlap_us(tracer, ("unpack", 1), ("wire", 0)),
         wire_us=tracer.total_time("wire", node=0),
     )
-
-
-def _unpack_wire_overlap(tracer) -> float:
-    """Overlap of receiver unpack intervals with sender wire intervals.
-
-    Wire intervals are recorded on the sender (node 0); the receiver's
-    inbound DMA mirrors them one latency later, which is negligible at
-    the granularity of this analysis.
-    """
-    unpack = sorted(
-        (r.start, r.end) for r in tracer.iter_category("unpack", node=1)
-    )
-    wire = sorted((r.start, r.end) for r in tracer.iter_category("wire", node=0))
-    i = j = 0
-    total = 0.0
-    while i < len(unpack) and j < len(wire):
-        lo = max(unpack[i][0], wire[j][0])
-        hi = min(unpack[i][1], wire[j][1])
-        if lo < hi:
-            total += hi - lo
-        if unpack[i][1] <= wire[j][1]:
-            i += 1
-        else:
-            j += 1
-    return total

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.ib.costmodel import CostModel
 from repro.ib.hca import Node
 from repro.ib.verbs import QueuePair
+from repro.obs.metrics import MetricsRegistry
 from repro.simulator import SimulationError, Simulator, Tracer
 
 __all__ = ["Fabric"]
@@ -24,10 +25,17 @@ __all__ = ["Fabric"]
 class Fabric:
     """A full-bisection switch; builds nodes and connects queue pairs."""
 
-    def __init__(self, sim: Simulator, cm: CostModel, tracer: Optional[Tracer] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        cm: CostModel,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.sim = sim
         self.cm = cm
         self.tracer = tracer or Tracer()
+        self.metrics = metrics or MetricsRegistry()
         self.nodes: list[Node] = []
 
     def add_node(self, memory_capacity: int) -> Node:
@@ -38,6 +46,7 @@ class Fabric:
             cm=self.cm,
             memory_capacity=memory_capacity,
             tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.nodes.append(node)
         return node

@@ -39,6 +39,7 @@ from repro.ib.verbs import (
     RecvWR,
     SendWR,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.simulator import Resource, SimulationError, Simulator, Store, Tracer
 
 __all__ = ["HCA", "Node"]
@@ -54,11 +55,13 @@ class Node:
         cm: CostModel,
         memory_capacity: int,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.node_id = node_id
         self.cm = cm
         self.tracer = tracer or Tracer()
+        self.metrics = metrics or MetricsRegistry()
         self.memory = NodeMemory(node_id, memory_capacity, cm.page_size)
         self.cpu = Resource(sim, capacity=1, name=f"cpu{node_id}")
         #: number of HCA DMA streams currently reading/writing this node's
@@ -139,11 +142,14 @@ class Node:
             start = self.sim.now
             yield from self.cpu_work(self.cm.reg_time(length, addr), "register")
             self.tracer.record(start, self.sim.now, self.node_id, "reg", "reg")
+        self.metrics.counter("reg.registrations", self.node_id).inc()
+        self.metrics.counter("reg.registered_bytes", self.node_id).inc(length)
         return self.memory.register(addr, length)
 
     def deregister(self, mr: MemoryRegion, *, charge: bool = True):
         """Deregister (unpin) a region, charging deregistration time."""
         self.memory.deregister(mr)
+        self.metrics.counter("reg.deregistrations", self.node_id).inc()
         if charge:
             start = self.sim.now
             yield from self.cpu_work(self.cm.dereg_time(mr.length, mr.addr), "deregister")
@@ -175,6 +181,9 @@ class HCA:
         #: wire bytes injected, for utilization stats
         self.bytes_injected = 0
         self.descriptors_processed = 0
+        self.metrics = node.metrics
+        #: WQE backlog in the send engine (posted but not yet drained)
+        self._sq_depth = self.metrics.gauge("ib.sq_depth", self.node_id)
 
     def create_qp(
         self,
@@ -195,6 +204,8 @@ class HCA:
 
     def enqueue_send(self, qp: QueuePair, wr: SendWR) -> None:
         self._send_queue.put((qp, wr))
+        # outstanding = queued + the one the engine is processing
+        self._sq_depth.inc()
 
     def _send_engine(self):
         """Drain posted descriptors in FIFO order, one at a time."""
@@ -208,6 +219,7 @@ class HCA:
                 yield from self._issue_read_request(qp, wr)
             else:
                 yield from self._inject(qp, wr)
+            self._sq_depth.dec()
 
     def _dma_bracket(self, node: Node, start_delay: float, duration: float) -> None:
         """Mark ``node``'s memory as having one more DMA stream during
@@ -247,6 +259,8 @@ class HCA:
         )
         self.bytes_injected += nbytes
         self.descriptors_processed += 1
+        self.metrics.counter("ib.bytes_injected", self.node_id).inc(nbytes)
+        self.metrics.counter("ib.descriptors", self.node_id).inc()
         # DMA snapshot of the gather list at injection time.
         data = self._gather(wr)
         peer = qp.peer
@@ -271,6 +285,7 @@ class HCA:
         yield self.sim.timeout(self.cm.hca_startup)
         self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_req")
         self.descriptors_processed += 1
+        self.metrics.counter("ib.descriptors", self.node_id).inc()
         peer = qp.peer
         length = wr.byte_len
 
@@ -294,6 +309,7 @@ class HCA:
         yield self.sim.timeout(occupancy)
         self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_resp")
         self.bytes_injected += nbytes
+        self.metrics.counter("ib.bytes_injected", self.node_id).inc(nbytes)
         req_qp = resp.req_qp
 
         def land(_e):

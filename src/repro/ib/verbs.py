@@ -148,8 +148,12 @@ class CompletionQueue:
         self.hca = hca
         self.name = name
         self._store = Store(hca.sim, name=name)
+        self._completions = hca.node.metrics.counter(
+            "ib.cq_completions", hca.node_id
+        )
 
     def push(self, completion: Completion) -> None:
+        self._completions.inc()
         self._store.put(completion)
 
     def wait(self) -> Event:
@@ -186,6 +190,10 @@ class QueuePair:
         #: counters for tests / stats
         self.posted_sends = 0
         self.posted_recvs = 0
+        metrics = hca.node.metrics
+        self._sends_metric = metrics.counter("ib.sends_posted", hca.node_id)
+        self._recvs_metric = metrics.counter("ib.recvs_posted", hca.node_id)
+        self._list_posts_metric = metrics.counter("ib.list_posts", hca.node_id)
 
     # -- receive side ---------------------------------------------------
 
@@ -199,6 +207,7 @@ class QueuePair:
         yield from self.hca.node.cpu_work(self.hca.cm.post_descriptor, "post_recv")
         self._recv_queue.put(wr)
         self.posted_recvs += 1
+        self._recvs_metric.inc()
 
     def post_recv_nocost(self, wr: RecvWR) -> None:
         """Post a receive descriptor without charging CPU time.
@@ -210,6 +219,7 @@ class QueuePair:
             self.hca.memory.check_local(sge.addr, sge.length, sge.lkey)
         self._recv_queue.put(wr)
         self.posted_recvs += 1
+        self._recvs_metric.inc()
 
     def _consume_recv(self) -> RecvWR:
         wr = self._recv_queue.try_get()
@@ -232,6 +242,7 @@ class QueuePair:
         yield from self.hca.node.cpu_work(self.hca.cm.post_time(1), "post_send")
         self.hca.enqueue_send(self, wr)
         self.posted_sends += 1
+        self._sends_metric.inc()
 
     def post_send_list(self, wrs: Sequence[SendWR]):
         """Post a chain of descriptors in one call (extended interface).
@@ -245,9 +256,11 @@ class QueuePair:
         yield from self.hca.node.cpu_work(
             self.hca.cm.post_time(len(wrs), list_post=True), "post_send_list"
         )
+        self._list_posts_metric.inc()
         for wr in wrs:
             self.hca.enqueue_send(self, wr)
             self.posted_sends += 1
+            self._sends_metric.inc()
 
     def _validate_send(self, wr: SendWR) -> None:
         wr.validate()

@@ -160,8 +160,14 @@ class RankContext:
         self.reg_cache = RegistrationCache(
             node, cluster.reg_cache_bytes, hint_fn=self.buffer_hint
         )
-        self.dt_cache = DatatypeCache()
-        self.type_registry = ReceiverTypeRegistry()
+        self.metrics = node.metrics
+        self.dt_cache = DatatypeCache(metrics=self.metrics, node=rank)
+        self.type_registry = ReceiverTypeRegistry(
+            metrics=self.metrics, node=rank
+        )
+        self._eager_sends_metric = self.metrics.counter("mpi.eager_sends", rank)
+        self._rndv_sends_metric = self.metrics.counter("mpi.rndv_sends", rank)
+        self._unexpected_gauge = self.metrics.gauge("mpi.unexpected_depth", rank)
         self._msg_seq = 0
         self._send_seq = 0
         self._wr_seq = 0
@@ -476,8 +482,10 @@ class RankContext:
         self._dst_seq[dest] = self._dst_seq.get(dest, 0) + 1
         req.seq = self._dst_seq[dest]
         if req.nbytes <= self.cm.eager_threshold:
+            self._eager_sends_metric.inc()
             self.sim.process(self._eager_send(req), name=f"eager{self.rank}")
         else:
+            self._rndv_sends_metric.inc()
             scheme = self.cluster.choose_scheme(self, req)
             self._msg_inbox[req.msg_id] = Store(self.sim)
             self.sim.process(
@@ -493,6 +501,7 @@ class RankContext:
         req = self._make_request("recv", source, tag, addr, datatype, count)
         envelope = self.matching.post_recv(req)
         if envelope is not None:
+            self._unexpected_gauge.set(len(self.matching._unexpected))
             self._dispatch_matched(req, envelope)
         return req
         yield  # pragma: no cover
@@ -688,6 +697,8 @@ class RankContext:
         start = self.sim.now
         yield from self.node.copy_work(nbytes, max(nblocks, 1), tag, penalty)
         self.node.tracer.record(start, self.sim.now, self.rank, tag)
+        self.metrics.counter("scheme.copy_bytes", self.rank).inc(nbytes)
+        self.metrics.counter("scheme.copy_blocks", self.rank).inc(max(nblocks, 1))
 
     # ------------------------------------------------------------------
     # internal: request bookkeeping
@@ -883,16 +894,28 @@ class RankContext:
     # ------------------------------------------------------------------
 
     def _run_sender(self, scheme, req: Request):
-        yield from scheme.sender(self, req)
+        span = self.node.tracer.begin(
+            self.sim.now, self.rank, f"scheme:{scheme.name}", "send",
+            meta=req.msg_id,
+        )
+        try:
+            yield from scheme.sender(self, req)
+        finally:
+            span.finish(self.sim.now)
         self.close_inbox(req.msg_id)
         self._complete(req)
 
     def _run_receiver(self, rreq: Request, start: RndvStart):
         grant = yield self._rndv_recv_slots.acquire()
+        span = self.node.tracer.begin(
+            self.sim.now, self.rank, f"scheme:{start.scheme}", "recv",
+            meta=start.msg_id,
+        )
         try:
             scheme = self.get_scheme(start.scheme)
             yield from scheme.receiver(self, rreq, start)
         finally:
+            span.finish(self.sim.now)
             self._rndv_recv_slots.release(grant)
         self.close_inbox(start.msg_id)
         self._complete(rreq, src=start.src, tag=start.tag)
@@ -977,6 +1000,7 @@ class RankContext:
     def _deliver_envelope(self, envelope: _Envelope):
         """Run matching for an admitted envelope (generator)."""
         rreq = self.matching.arrive(envelope)
+        self._unexpected_gauge.set(len(self.matching._unexpected))
         if envelope.kind == "eager":
             if rreq is not None:
                 yield from self._eager_deliver(rreq, envelope)

@@ -42,11 +42,15 @@ class ReceiverTypeRegistry:
     handle table would), exercising the version-bump path.
     """
 
-    def __init__(self, max_indices: int = 256):
+    def __init__(self, max_indices: int = 256, metrics=None, node=None):
         self.max_indices = max_indices
         self._by_signature: dict[tuple, int] = {}
         self._slots: dict[int, _TypeSlot] = {}
         self._next = 0
+        #: index reuses forced by the finite handle table (version bumps)
+        self.evictions = 0
+        self._metrics = metrics
+        self._node = node
         #: indices the peer ranks have been sent, per peer: peer -> {index: version}
         self._peer_state: dict[int, dict[int, int]] = {}
 
@@ -69,6 +73,9 @@ class ReceiverTypeRegistry:
             # the old signature may already be gone if the slot was freed
             self._by_signature.pop(old.signature, None)
             self._slots[idx] = _TypeSlot(signature, flattened, old.version + 1)
+            self.evictions += 1
+            if self._metrics is not None:
+                self._metrics.counter("dtype.registry.evictions", self._node).inc()
         self._by_signature[signature] = idx
         return idx, self._slots[idx].version
 
@@ -99,18 +106,30 @@ class ReceiverTypeRegistry:
 class DatatypeCache:
     """Sender-side cache: (receiver rank, index) -> (version, Flattened)."""
 
-    def __init__(self):
+    def __init__(self, metrics=None, node=None):
         self._cache: dict[tuple[int, int], tuple[int, Flattened]] = {}
         self.hits = 0
         self.misses = 0
+        #: stale entries replaced by a newer version (version-mismatch refresh)
+        self.evictions = 0
+        self._metrics = metrics
+        self._node = node
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name, self._node).inc()
 
     def resolve(self, peer: int, layout) -> Flattened:
         """Decode a reply ``layout`` field into the receiver's block list."""
         kind = layout[0]
         if kind == "full":
             _k, idx, version, flattened = layout
+            if (peer, idx) in self._cache:
+                self.evictions += 1
+                self._count("dtype.cache.evictions")
             self._cache[(peer, idx)] = (version, flattened)
             self.misses += 1
+            self._count("dtype.cache.misses")
             return flattened
         if kind == "ref":
             _k, idx, version = layout
@@ -122,6 +141,7 @@ class DatatypeCache:
                     "does not hold (protocol error)"
                 )
             self.hits += 1
+            self._count("dtype.cache.hits")
             return entry[1]
         raise ValueError(f"bad layout encoding {layout!r}")
 

@@ -14,6 +14,7 @@ from typing import Any, Callable, Optional, Sequence
 from repro.ib.costmodel import MB, CostModel
 from repro.ib.fabric import Fabric
 from repro.mpi.context import RankContext
+from repro.obs.metrics import MetricsRegistry
 from repro.simulator import SimulationError, Simulator, Tracer
 
 __all__ = ["Cluster", "RunResult"]
@@ -100,7 +101,10 @@ class Cluster:
         self.eager_rdma = eager_rdma
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
-        self.fabric = Fabric(self.sim, self.cm, tracer=self.tracer)
+        self.metrics = MetricsRegistry()
+        self.fabric = Fabric(
+            self.sim, self.cm, tracer=self.tracer, metrics=self.metrics
+        )
         self.contexts: list[RankContext] = []
         for r in range(nranks):
             node = self.fabric.add_node(memory_per_rank)
@@ -183,7 +187,9 @@ class Cluster:
             "descriptors": [c.node.hca.descriptors_processed for c in self.contexts],
             "reg_cache_hits": [c.reg_cache.hits for c in self.contexts],
             "reg_cache_misses": [c.reg_cache.misses for c in self.contexts],
+            "reg_cache_evictions": [c.reg_cache.evictions for c in self.contexts],
             "dt_cache_hits": [c.dt_cache.hits for c in self.contexts],
             "dt_cache_misses": [c.dt_cache.misses for c in self.contexts],
+            "dt_cache_evictions": [c.dt_cache.evictions for c in self.contexts],
             "cpu_busy_us": [c.node.cpu.busy_time for c in self.contexts],
         }

@@ -1,0 +1,51 @@
+"""Observability: spans, metrics, and exporters for the whole stack.
+
+Three pieces (see docs/OBSERVABILITY.md):
+
+* **spans** — hierarchical trace intervals collected by
+  :class:`~repro.simulator.trace.Tracer` (span/parent ids; the scheme
+  layer opens one enclosing span per rendezvous operation), plus interval
+  queries in :mod:`repro.obs.spans`;
+* **metrics** — the :class:`~repro.obs.metrics.MetricsRegistry` of
+  counters/gauges/histograms that the IB, registration, scheme and MPI
+  layers record into (all values simulated-time or counts, never wall
+  clock);
+* **exporters** — Chrome trace-event JSON (:mod:`repro.obs.chrome`) and
+  plain-text/CSV metric snapshots, driven from the ``python -m repro.obs``
+  CLI (:mod:`repro.obs.report`).
+
+This package deliberately avoids importing the simulator/MPI stack at
+module level (only :mod:`repro.obs.report` does, lazily via the CLI), so
+the instrumented layers can import it without cycles.
+"""
+
+from repro.obs.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_US_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    category_intervals,
+    merge_intervals,
+    overlap_us,
+    span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_US_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "category_intervals",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "merge_intervals",
+    "overlap_us",
+    "span_tree",
+]

@@ -1,0 +1,73 @@
+"""CLI: ``python -m repro.obs report [options]``.
+
+Prints the per-scheme time breakdown table and optionally exports Chrome
+trace JSON and a metrics CSV snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.report import DEFAULT_SCHEMES, run_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability reports for the simulated MPI/IB stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report", help="per-scheme copy/wire/overlap/registration breakdown"
+    )
+    rep.add_argument(
+        "--workload",
+        default="fig09",
+        choices=("fig02", "fig08", "fig09", "fig11"),
+        help="figure workload supplying the datatype (default: fig09)",
+    )
+    rep.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[65536],
+        help="target message sizes in bytes (default: 65536)",
+    )
+    rep.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(DEFAULT_SCHEMES),
+        help=f"schemes to compare (default: {' '.join(DEFAULT_SCHEMES)})",
+    )
+    rep.add_argument(
+        "--chrome-trace",
+        metavar="PREFIX",
+        default=None,
+        help="write Chrome trace JSON per scheme/size to PREFIX.<scheme>.<size>.json",
+    )
+    rep.add_argument(
+        "--metrics-csv",
+        metavar="PATH",
+        default=None,
+        help="write the final run's metric snapshot as CSV",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        run_report(
+            workload=args.workload,
+            sizes=args.sizes,
+            schemes=args.schemes,
+            chrome_out=args.chrome_trace,
+            metrics_out=args.metrics_csv,
+        )
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Per-scheme observability report: where did the time go?
+
+Runs one traced transfer per (scheme, size) and breaks the operation down
+into the quantities the paper's Figures 2/3 discuss qualitatively:
+
+* **copy us** — CPU copy time (sender pack + receiver unpack),
+* **wire us** — HCA injection time on the sender,
+* **overlap %** — the fraction of copy time hidden behind wire activity
+  (the pipelining win of BC-SPUP / RWG-UP),
+* **reg us** — registration/deregistration time on either side,
+* **descr** — descriptors processed by both HCAs.
+
+Driven by the ``python -m repro.obs report`` CLI; also usable as a
+library (:func:`measure_breakdown`, :func:`run_report`).  Imports the MPI
+stack lazily so ``repro.obs`` itself stays import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.obs.spans import overlap_us
+
+__all__ = ["SchemeBreakdown", "measure_breakdown", "run_report", "workload_for"]
+
+#: schemes the report covers by default (the figures' line-up)
+DEFAULT_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
+
+#: bytes per column of the paper's 128 x 4096 int array
+_COLUMN_BYTES = 128 * 4
+
+
+@dataclass(frozen=True)
+class SchemeBreakdown:
+    """One row of the report table."""
+
+    scheme: str
+    nbytes: int
+    total_us: float
+    copy_us: float
+    wire_us: float
+    overlap_us: float
+    reg_us: float
+    descriptors: int
+
+    @property
+    def overlap_pct(self) -> float:
+        """Share of copy time hidden behind wire activity."""
+        return 100.0 * self.overlap_us / self.copy_us if self.copy_us else 0.0
+
+
+def workload_for(workload: str, nbytes: int):
+    """Map a figure name + target message size to a Workload.
+
+    ``fig02``/``fig08``/``fig09`` use the column-vector datatype (the
+    message is ``512 * cols`` bytes); ``fig11`` uses the Figure 10 struct
+    (smallest power-of-two last block reaching ``nbytes``).
+    """
+    from repro.bench.workloads import column_vector, fig10_struct
+
+    if workload in ("fig02", "fig08", "fig09"):
+        return column_vector(max(1, nbytes // _COLUMN_BYTES))
+    if workload == "fig11":
+        last = 1
+        while fig10_struct(last).nbytes < nbytes and last < 1 << 20:
+            last *= 2
+        return fig10_struct(last)
+    raise ValueError(
+        f"unknown workload {workload!r}; choose fig02, fig08, fig09 or fig11"
+    )
+
+
+def measure_breakdown(
+    scheme: str,
+    dt,
+    *,
+    count: int = 1,
+    scheme_options: Optional[dict] = None,
+) -> tuple[SchemeBreakdown, object]:
+    """Run one traced 2-rank transfer of (dt, count) under ``scheme``.
+
+    Returns ``(breakdown, cluster)`` — the cluster gives callers access to
+    the tracer and metrics registry for export.
+    """
+    from repro.ib.costmodel import MB
+    from repro.mpi.world import Cluster
+
+    cluster = Cluster(
+        2,
+        scheme=scheme,
+        scheme_options=scheme_options or {},
+        memory_per_rank=512 * MB,
+        trace=True,
+    )
+    span = dt.flatten(count).span + abs(dt.lb) + 64
+
+    def rank0(mpi):
+        buf = mpi.alloc(span)
+        yield from mpi.send(buf, dt, count, dest=1, tag=0)
+        return mpi.now
+
+    def rank1(mpi):
+        buf = mpi.alloc(span)
+        yield from mpi.recv(buf, dt, count, source=0, tag=0)
+        return mpi.now
+
+    result = cluster.run([rank0, rank1])
+    tracer = cluster.tracer
+    metrics = cluster.metrics
+    copy_us = (
+        tracer.total_time("pack", node=0)
+        + tracer.total_time("user-pack", node=0)
+        + tracer.total_time("unpack", node=1)
+    )
+    # wire intervals are recorded on the sender; the receiver's inbound
+    # DMA mirrors them one switch latency later
+    hidden = overlap_us(tracer, ("pack", 0), ("wire", 0)) + overlap_us(
+        tracer, ("unpack", 1), ("wire", 0)
+    )
+    breakdown = SchemeBreakdown(
+        scheme=scheme,
+        nbytes=dt.size * count,
+        total_us=result.time_us,
+        copy_us=copy_us,
+        wire_us=tracer.total_time("wire", node=0),
+        overlap_us=hidden,
+        reg_us=tracer.total_time("reg"),
+        descriptors=int(metrics.value("ib.descriptors")),
+    )
+    return breakdown, cluster
+
+
+def format_table(rows: Sequence[SchemeBreakdown]) -> str:
+    """Render breakdown rows as an aligned plain-text table."""
+    header = (
+        f"{'scheme':<10} {'bytes':>9} {'total_us':>10} {'copy_us':>9} "
+        f"{'wire_us':>9} {'overlap%':>8} {'reg_us':>8} {'descr':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.scheme:<10} {r.nbytes:>9} {r.total_us:>10.1f} "
+            f"{r.copy_us:>9.1f} {r.wire_us:>9.1f} {r.overlap_pct:>7.1f}% "
+            f"{r.reg_us:>8.1f} {r.descriptors:>7}"
+        )
+    return "\n".join(lines)
+
+
+def run_report(
+    workload: str = "fig09",
+    sizes: Sequence[int] = (65536,),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    chrome_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    print_fn=print,
+) -> list[SchemeBreakdown]:
+    """Run the breakdown for every (size, scheme) and print the table.
+
+    ``chrome_out`` writes one Chrome trace JSON per scheme/size
+    (``<prefix>.<scheme>.<size>.json``); ``metrics_out`` writes the last
+    run's metric snapshot as CSV.
+    """
+    from repro.obs.chrome import export_chrome_trace
+
+    rows: list[SchemeBreakdown] = []
+    last_cluster = None
+    for nbytes in sizes:
+        wl = workload_for(workload, nbytes)
+        size_rows = []
+        for scheme in schemes:
+            breakdown, cluster = measure_breakdown(scheme, wl.datatype)
+            size_rows.append(breakdown)
+            last_cluster = cluster
+            if chrome_out:
+                prefix = chrome_out[:-5] if chrome_out.endswith(".json") else chrome_out
+                export_chrome_trace(
+                    cluster.tracer, f"{prefix}.{scheme}.{nbytes}.json"
+                )
+        print_fn(f"workload {workload}: {wl.name} ({wl.nbytes} bytes/element)")
+        print_fn(format_table(size_rows))
+        print_fn("")
+        rows.extend(size_rows)
+    if metrics_out and last_cluster is not None:
+        last_cluster.metrics.to_csv(metrics_out)
+    return rows

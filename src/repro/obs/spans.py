@@ -1,0 +1,70 @@
+"""Interval and span-tree queries over a :class:`~repro.simulator.trace.Tracer`.
+
+The sweep-line interval arithmetic that used to be duplicated across
+``bench/overlap.py`` lives here, generalized so any two (category, node)
+activity sets can be intersected — e.g. receiver unpack time against
+sender wire time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["category_intervals", "merge_intervals", "overlap_us", "span_tree"]
+
+#: (category, node) selector; node None selects all nodes
+Selector = Tuple[str, Optional[int]]
+
+
+def merge_intervals(intervals: Sequence[tuple]) -> list[tuple]:
+    """Merge overlapping/touching (start, end) intervals into a sorted
+    disjoint list."""
+    merged: list[tuple] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def category_intervals(tracer, category: str, node: Optional[int] = None) -> list[tuple]:
+    """Merged activity intervals of one category on one node (or all)."""
+    return merge_intervals(
+        [(r.start, r.end) for r in tracer.iter_category(category, node)]
+    )
+
+
+def overlap_us(tracer, a: Selector, b: Selector) -> float:
+    """Simulated time during which both selectors were active.
+
+    Each selector is ``(category, node)``; pass ``node=None`` to pool all
+    nodes.  Intervals within each selector are merged first, so the result
+    is a true intersection length.
+    """
+    ia = category_intervals(tracer, *a)
+    ib = category_intervals(tracer, *b)
+    i = j = 0
+    total = 0.0
+    while i < len(ia) and j < len(ib):
+        lo = max(ia[i][0], ib[j][0])
+        hi = min(ia[i][1], ib[j][1])
+        if lo < hi:
+            total += hi - lo
+        if ia[i][1] <= ib[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def span_tree(tracer) -> dict:
+    """Parent-to-children index of the tracer's span hierarchy.
+
+    Returns ``{parent_id: [TraceRecord, ...]}``; key 0 holds root spans.
+    """
+    tree: dict = {}
+    for rec in tracer.records:
+        tree.setdefault(rec.parent_id, []).append(rec)
+    return tree

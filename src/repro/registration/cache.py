@@ -52,6 +52,14 @@ class RegistrationCache:
         self._entries: "OrderedDict[tuple[int, int], _Entry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        metrics = node.metrics
+        self._hits_metric = metrics.counter("reg.cache.hits", node.node_id)
+        self._misses_metric = metrics.counter("reg.cache.misses", node.node_id)
+        self._evictions_metric = metrics.counter(
+            "reg.cache.evictions", node.node_id
+        )
+        self._pinned_gauge = metrics.gauge("reg.cache.pinned_bytes", node.node_id)
 
     @property
     def pinned_bytes(self) -> int:
@@ -66,10 +74,12 @@ class RegistrationCache:
         for key, entry in self._entries.items():
             if entry.mr.covers(addr, length):
                 self.hits += 1
+                self._hits_metric.inc()
                 entry.refcount += 1
                 self._entries.move_to_end(key)
                 return entry.mr
         self.misses += 1
+        self._misses_metric.inc()
         mr = yield from self.node.register(addr, length)
         hinted_oneshot = (
             self._hint_fn is not None and self._hint_fn(addr, length) is False
@@ -77,6 +87,7 @@ class RegistrationCache:
         if self.capacity_bytes > 0 and not hinted_oneshot:
             entry = _Entry(mr, refcount=1)
             self._entries[(mr.addr, mr.length)] = entry
+            self._pinned_gauge.set(self.pinned_bytes)
             yield from self._evict()
         return mr
 
@@ -104,6 +115,9 @@ class RegistrationCache:
             if victim_key is None:
                 return  # everything in use; over budget until releases
             entry = self._entries.pop(victim_key)
+            self.evictions += 1
+            self._evictions_metric.inc()
+            self._pinned_gauge.set(self.pinned_bytes)
             yield from self.node.deregister(entry.mr)
 
     def flush(self):
@@ -111,6 +125,7 @@ class RegistrationCache:
         keys = [k for k, e in self._entries.items() if e.refcount == 0]
         for key in keys:
             entry = self._entries.pop(key)
+            self._pinned_gauge.set(self.pinned_bytes)
             yield from self.node.deregister(entry.mr)
 
     @property

@@ -160,7 +160,12 @@ def staged_receiver(
     nbytes = start.nbytes
     segsize = (start.meta or {}).get("segsize") or ctx.cm.segment_size_for(nbytes)
     segs = plan_segments(nbytes, segsize)
+    ctx.metrics.counter("scheme.segments", ctx.rank).inc(len(segs))
+    t_acquire = ctx.sim.now
     bufs = yield from ctx.unpack_pool.acquire_block([hi - lo for lo, hi in segs])
+    ctx.metrics.counter("scheme.buffer_wait_us", ctx.rank).inc(
+        ctx.sim.now - t_acquire
+    )
     reply = RndvReply(
         msg_id=start.msg_id,
         segments=tuple((b.addr, b.rkey, b.size) for b in bufs),

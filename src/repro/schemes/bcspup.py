@@ -53,11 +53,16 @@ class BCSPUPScheme(DatatypeScheme):
         else:
             segsize = ctx.cm.segment_size_for(nbytes)
         segs = plan_segments(nbytes, segsize)
+        ctx.metrics.counter("scheme.segments", ctx.rank).inc(len(segs))
         yield from send_rndv_start(ctx, req, self.name, meta={"segsize": segsize})
         reply = yield ctx.msg_inbox(req.msg_id).get()
         assert isinstance(reply, RndvReply)
         assert len(reply.segments) >= len(segs)
+        t_acquire = ctx.sim.now
         bufs = yield from ctx.pack_pool.acquire_block([hi - lo for lo, hi in segs])
+        ctx.metrics.counter("scheme.buffer_wait_us", ctx.rank).inc(
+            ctx.sim.now - t_acquire
+        )
         completions = []
         for i, (lo, hi) in enumerate(segs):
             buf = bufs[i]
@@ -82,8 +87,13 @@ class BCSPUPScheme(DatatypeScheme):
             # recycle the pack buffer once the HCA is done with it, without
             # stalling the pipeline
             ctx.sim.process(self._recycle(ctx, done, buf))
-        # the send completes when every segment has left the pack buffers
+        # the send completes when every segment has left the pack buffers;
+        # time spent here is pipeline drain (CPU done, HCA still injecting)
+        t_drain = ctx.sim.now
         yield ctx.sim.all_of(completions)
+        ctx.metrics.counter("scheme.drain_wait_us", ctx.rank).inc(
+            ctx.sim.now - t_drain
+        )
 
     @staticmethod
     def _recycle(ctx, done, buf):

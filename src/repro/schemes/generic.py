@@ -94,6 +94,7 @@ class GenericScheme(DatatypeScheme):
         node = ctx.node
         cur = req.cursor
         nbytes = cur.total
+        ctx.metrics.counter("scheme.segments", ctx.rank).inc()
         entry = yield from self._pack_stage.acquire(node, nbytes, self.fresh_buffers)
         addr, _size, mr = entry
         nblocks = pack_bytes(node.memory, req.addr, cur, 0, nbytes, addr)

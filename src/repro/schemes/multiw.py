@@ -107,6 +107,7 @@ class MultiWScheme(DatatypeScheme):
             raise KeyError(f"no receiver region covers [{addr:#x}, +{length})")
 
         pieces = refine(cur.flat, req.addr, dst_flat, dst_base)
+        ctx.metrics.counter("scheme.rdma_pieces", ctx.rank).inc(len(pieces))
         # datatype processing to build the descriptor list
         yield from ctx.node.cpu_work(
             ctx.cm.dt_startup + len(pieces) * ctx.cm.dt_per_block, "dtproc"

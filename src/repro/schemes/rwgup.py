@@ -43,6 +43,7 @@ class RWGUPScheme(DatatypeScheme):
         nbytes = cur.total
         segsize = ctx.cm.segment_size_for(nbytes)
         segs = plan_segments(nbytes, segsize)
+        ctx.metrics.counter("scheme.segments", ctx.rank).inc(len(segs))
         yield from send_rndv_start(ctx, req, self.name, meta={"segsize": segsize})
         # register the user buffer while the handshake is in flight
         reg = yield from RegisteredUserBuffer.acquire(

@@ -25,7 +25,7 @@ from repro.simulator.engine import (
     Timeout,
 )
 from repro.simulator.resources import Resource, Signal, Store
-from repro.simulator.trace import TraceRecord, Tracer
+from repro.simulator.trace import Span, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -37,6 +37,7 @@ __all__ = [
     "Signal",
     "SimulationError",
     "Simulator",
+    "Span",
     "Store",
     "Timeout",
     "TraceRecord",

@@ -6,15 +6,23 @@ benchmark harness uses traces to quantify overlap (e.g. how much packing
 time was hidden behind wire time in BC-SPUP) and to explain the figures in
 EXPERIMENTS.md.
 
+Records form a **span hierarchy**: every record carries a ``span_id`` and
+a ``parent_id``.  Long-lived enclosing spans (e.g. one ``scheme:bc-spup``
+span per rendezvous operation) are opened with :meth:`Tracer.begin` and
+closed with :meth:`Span.finish`; any record emitted on the same node while
+a span is open is parented to it.  Flat callers that only ever use
+:meth:`Tracer.record` keep working unchanged — their records become root
+spans (``parent_id == 0``).
+
 Tracing is off by default and adds no overhead beyond a boolean check.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Iterator, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["Span", "TraceRecord", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -27,10 +35,48 @@ class TraceRecord:
     category: str
     detail: str = ""
     meta: Any = None
+    #: unique id of this interval within its tracer (0 = untracked)
+    span_id: int = 0
+    #: id of the enclosing span, 0 for root spans
+    parent_id: int = 0
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+
+class Span:
+    """An open hierarchical span; close it with :meth:`finish`.
+
+    Returned by :meth:`Tracer.begin`.  While open, every record emitted on
+    the same node (via :meth:`Tracer.record` or nested :meth:`Tracer.begin`)
+    is parented to it.  A disabled tracer hands out inert spans with
+    ``span_id == 0``.
+    """
+
+    __slots__ = ("tracer", "span_id", "parent_id", "start", "node",
+                 "category", "detail", "meta", "closed")
+
+    def __init__(self, tracer, span_id, parent_id, start, node, category,
+                 detail="", meta=None):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.node = node
+        self.category = category
+        self.detail = detail
+        self.meta = meta
+        self.closed = False
+
+    def finish(self, end: float) -> Optional[TraceRecord]:
+        """Close the span at simulated time ``end`` and emit its record."""
+        if self.span_id == 0:  # disabled tracer
+            return None
+        if self.closed:
+            raise ValueError(f"span {self.span_id} already finished")
+        self.closed = True
+        return self.tracer._finish_span(self, end)
 
 
 @dataclass
@@ -39,6 +85,50 @@ class Tracer:
 
     enabled: bool = False
     records: list[TraceRecord] = field(default_factory=list)
+    #: per-node stack of open span ids (innermost last)
+    _open: dict = field(default_factory=dict, repr=False)
+    _next_id: int = field(default=0, repr=False)
+
+    # -- span API -----------------------------------------------------------
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def current_span(self, node: int) -> int:
+        """Id of the innermost open span on ``node`` (0 if none)."""
+        stack = self._open.get(node)
+        return stack[-1].span_id if stack else 0
+
+    def begin(
+        self,
+        start: float,
+        node: int,
+        category: str,
+        detail: str = "",
+        meta: Any = None,
+    ) -> Span:
+        """Open a hierarchical span; records on ``node`` nest under it
+        until :meth:`Span.finish` is called."""
+        if not self.enabled:
+            return Span(self, 0, 0, start, node, category, detail, meta)
+        span = Span(
+            self, self._new_id(), self.current_span(node), start, node,
+            category, detail, meta,
+        )
+        self._open.setdefault(node, []).append(span)
+        return span
+
+    def _finish_span(self, span: Span, end: float) -> TraceRecord:
+        stack = self._open.get(span.node, [])
+        if span in stack:
+            stack.remove(span)
+        rec = TraceRecord(
+            span.start, end, span.node, span.category, span.detail,
+            span.meta, span.span_id, span.parent_id,
+        )
+        self.records.append(rec)
+        return rec
 
     def record(
         self,
@@ -50,10 +140,16 @@ class Tracer:
         meta: Any = None,
     ) -> None:
         if self.enabled:
-            self.records.append(TraceRecord(start, end, node, category, detail, meta))
+            self.records.append(
+                TraceRecord(
+                    start, end, node, category, detail, meta,
+                    self._new_id(), self.current_span(node),
+                )
+            )
 
     def clear(self) -> None:
         self.records.clear()
+        self._open.clear()
 
     # -- analysis helpers ---------------------------------------------------
 
@@ -61,6 +157,14 @@ class Tracer:
         for rec in self.records:
             if rec.category == category and (node is None or rec.node == node):
                 yield rec
+
+    def children(self, span_id: int) -> list[TraceRecord]:
+        """Records directly parented to ``span_id``, in emission order."""
+        return [r for r in self.records if r.parent_id == span_id]
+
+    def roots(self) -> list[TraceRecord]:
+        """Top-level records (no enclosing span)."""
+        return [r for r in self.records if r.parent_id == 0]
 
     def total_time(self, category: str, node: Optional[int] = None) -> float:
         """Sum of durations for a category (intervals may overlap)."""
@@ -100,16 +204,27 @@ class Tracer:
         }
 
     def to_csv(self, path: str) -> None:
-        """Dump all records to a CSV file for external analysis."""
+        """Dump all records to a CSV file for external analysis.
+
+        The header lists every :class:`TraceRecord` field in declaration
+        order; ``meta`` is included (``""`` when None).
+        """
         import csv
         import os
 
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        header = [f.name for f in fields(TraceRecord)]
         with open(path, "w", newline="") as fh:
             writer = csv.writer(fh)
-            writer.writerow(["start", "end", "node", "category", "detail"])
+            writer.writerow(header)
             for r in self.records:
-                writer.writerow([r.start, r.end, r.node, r.category, r.detail])
+                writer.writerow(
+                    [
+                        r.start, r.end, r.node, r.category, r.detail,
+                        "" if r.meta is None else r.meta,
+                        r.span_id, r.parent_id,
+                    ]
+                )
 
     def overlap_time(self, cat_a: str, cat_b: str, node: Optional[int] = None) -> float:
         """Total time during which *both* categories were active.

@@ -48,6 +48,7 @@ class TestReceiverRegistry:
         idx2, ver2 = reg.intern(("b",), f2)
         assert idx2 == idx1  # index reused
         assert ver2 == ver1 + 1  # version bumped
+        assert reg.evictions == 1  # the reuse is counted as an eviction
 
     def test_reuse_forces_full_resend(self):
         reg = ReceiverTypeRegistry(max_indices=1)
@@ -96,6 +97,33 @@ class TestSenderCache:
         cache.resolve(1, reg.encode_for(1, ("a",), f))
         cache.resolve(1, reg.encode_for(1, ("a",), f))
         assert cache.hit_rate == 0.5
+
+    def test_full_replacement_counts_eviction(self):
+        """A 'full' layout replacing a cached (peer, index) entry is an
+        eviction: the obsolete datatype is dropped (Section 5.4.2)."""
+        reg = ReceiverTypeRegistry(max_indices=1)
+        cache = DatatypeCache()
+        f1, f2 = flat((0, 4)), flat((0, 8))
+        cache.resolve(1, reg.encode_for(1, ("a",), f1))
+        assert cache.evictions == 0
+        reg.free(("a",))
+        cache.resolve(1, reg.encode_for(1, ("b",), f2))  # same index, v2
+        assert cache.evictions == 1
+        assert cache.misses == 2
+
+    def test_eviction_counters_reach_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        reg = ReceiverTypeRegistry(max_indices=1, metrics=metrics, node=1)
+        cache = DatatypeCache(metrics=metrics, node=0)
+        f1, f2 = flat((0, 4)), flat((0, 8))
+        cache.resolve(1, reg.encode_for(0, ("a",), f1))
+        reg.free(("a",))
+        cache.resolve(1, reg.encode_for(0, ("b",), f2))
+        assert metrics.counter("dtype.registry.evictions", 1).value == 1
+        assert metrics.counter("dtype.cache.evictions", 0).value == 1
+        assert metrics.counter("dtype.cache.misses", 0).value == 2
 
     def test_per_peer_isolation(self):
         """Layouts cached for one peer do not serve another."""

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_US_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_tracks_max(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_value == 7
+
+    def test_inc_dec(self):
+        g = Gauge("depth")
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 3
+        assert g.max_value == 5
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == 555.5
+        assert h.mean == pytest.approx(138.875)
+
+    def test_boundary_goes_to_lower_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        h.observe(10.0)
+        assert h.counts == [1, 1, 0]
+
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+    def test_mean_empty(self):
+        h = Histogram("lat", buckets=DEFAULT_US_BUCKETS)
+        assert h.mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", 0) is reg.counter("a", 0)
+        assert reg.counter("a", 0) is not reg.counter("a", 1)
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", 0) is reg.histogram("h", 0)
+
+    def test_value_sums_across_nodes(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", 0).inc(10)
+        reg.counter("bytes", 1).inc(5)
+        assert reg.value("bytes") == 15
+        assert reg.counter_values("bytes") == {0: 10, 1: 5}
+        assert reg.value("missing") == 0.0
+
+    def test_names(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert reg.names() == ["c", "g", "h"]
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 0).inc(2)
+        reg.gauge("g", 1).set(3)
+        reg.histogram("h").observe(4.0)
+        rows = reg.snapshot()
+        assert [r["type"] for r in rows] == ["counter", "gauge", "histogram"]
+        text = reg.render_text()
+        assert "c{node0} 2" in text
+        assert "g{node1} 3 (max 3)" in text
+        assert "h{cluster}" in text
+
+    def test_to_csv(self, tmp_path):
+        import csv
+
+        reg = MetricsRegistry()
+        reg.counter("c", 0).inc(2)
+        reg.gauge("g").set(1)
+        path = str(tmp_path / "m" / "metrics.csv")
+        reg.to_csv(path)
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["type", "name", "node", "value", "extra"]
+        assert rows[1] == ["counter", "c", "0", "2.0", ""]
+        assert rows[2] == ["gauge", "g", "", "1", "max=1"]

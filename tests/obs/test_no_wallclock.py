@@ -1,0 +1,24 @@
+"""Acceptance criterion: src/repro/obs never consults the wall clock.
+
+All observability values must be event counts or simulated microseconds;
+``time.time`` / ``perf_counter`` anywhere in the package would leak host
+timing into deterministic results.
+"""
+
+import pathlib
+import re
+
+import repro.obs
+
+OBS_DIR = pathlib.Path(repro.obs.__file__).parent
+
+FORBIDDEN = re.compile(r"time\.time|perf_counter|monotonic\(|datetime\.now")
+
+
+def test_obs_package_has_no_wallclock_calls():
+    offenders = []
+    for path in sorted(OBS_DIR.glob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if FORBIDDEN.search(line):
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, "wall-clock use in repro.obs:\n" + "\n".join(offenders)

@@ -1,0 +1,74 @@
+"""Span/interval query helpers (repro.obs.spans)."""
+
+from repro.obs.spans import (
+    category_intervals,
+    merge_intervals,
+    overlap_us,
+    span_tree,
+)
+from repro.simulator import Tracer
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_overlapping_and_touching(self):
+        assert merge_intervals([(0, 2), (1, 4), (4, 5), (7, 8)]) == [(0, 5), (7, 8)]
+
+    def test_contained(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+
+class TestOverlap:
+    def make_tracer(self):
+        tr = Tracer(enabled=True)
+        tr.record(0, 10, 0, "pack")
+        tr.record(5, 15, 0, "wire")
+        tr.record(12, 14, 1, "unpack")
+        return tr
+
+    def test_same_node_overlap(self):
+        tr = self.make_tracer()
+        assert overlap_us(tr, ("pack", 0), ("wire", 0)) == 5.0
+
+    def test_cross_node_overlap(self):
+        tr = self.make_tracer()
+        assert overlap_us(tr, ("unpack", 1), ("wire", 0)) == 2.0
+
+    def test_node_none_pools_all(self):
+        tr = self.make_tracer()
+        tr.record(13, 20, 1, "pack")
+        assert overlap_us(tr, ("pack", None), ("wire", 0)) == 7.0
+
+    def test_merging_prevents_double_count(self):
+        tr = Tracer(enabled=True)
+        # two overlapping pack intervals against one wire interval: the
+        # intersection must count the union, not each interval separately
+        tr.record(0, 10, 0, "pack")
+        tr.record(0, 10, 0, "pack")
+        tr.record(0, 10, 0, "wire")
+        assert overlap_us(tr, ("pack", 0), ("wire", 0)) == 10.0
+
+    def test_category_intervals_merged(self):
+        tr = Tracer(enabled=True)
+        tr.record(0, 3, 0, "cpu")
+        tr.record(2, 5, 0, "cpu")
+        assert category_intervals(tr, "cpu", 0) == [(0, 5)]
+
+
+class TestSpanTree:
+    def test_tree_structure(self):
+        tr = Tracer(enabled=True)
+        op = tr.begin(0.0, 0, "scheme:bc-spup")
+        tr.record(1.0, 2.0, 0, "pack")
+        tr.record(2.0, 3.0, 0, "wire")
+        op.finish(3.0)
+        tr.record(4.0, 5.0, 0, "reg")  # root-level record
+        tree = span_tree(tr)
+        scheme_rec = next(r for r in tr.records if r.category == "scheme:bc-spup")
+        assert {r.category for r in tree[scheme_rec.span_id]} == {"pack", "wire"}
+        assert {r.category for r in tree[0]} == {"scheme:bc-spup", "reg"}

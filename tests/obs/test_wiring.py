@@ -1,0 +1,133 @@
+"""Integration: every layer records into the cluster-wide registry/tracer."""
+
+from repro.datatypes import INT, vector
+from repro.ib.costmodel import MB
+from repro.mpi.world import Cluster
+
+
+def run_pingpong(**cluster_kwargs):
+    dt = vector(64, 16, 128, INT)  # 4 KB noncontiguous
+
+    def rank0(mpi):
+        buf = mpi.alloc(dt.extent)
+        yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+        yield from mpi.send(buf, dt, 1, dest=1, tag=1)
+
+    def rank1(mpi):
+        buf = mpi.alloc(dt.extent)
+        yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+        yield from mpi.recv(buf, dt, 1, source=0, tag=1)
+
+    cluster = Cluster(2, memory_per_rank=64 * MB, **cluster_kwargs)
+    cluster.run([rank0, rank1])
+    return cluster
+
+
+def run_rndv(scheme="bc-spup", **cluster_kwargs):
+    dt = vector(128, 128, 4096, INT)  # 64 KB: rendezvous
+
+    def rank0(mpi):
+        buf = mpi.alloc(dt.extent)
+        yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+    def rank1(mpi):
+        buf = mpi.alloc(dt.extent)
+        yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+
+    cluster = Cluster(
+        2, scheme=scheme, memory_per_rank=512 * MB, **cluster_kwargs
+    )
+    cluster.run([rank0, rank1])
+    return cluster
+
+
+class TestIBMetrics:
+    def test_descriptors_and_bytes(self):
+        cluster = run_rndv()
+        m = cluster.metrics
+        assert m.value("ib.descriptors") > 0
+        assert m.value("ib.bytes_injected") >= 64 * 1024
+        assert m.value("ib.sends_posted") > 0
+        assert m.value("ib.recvs_posted") > 0
+        assert m.value("ib.cq_completions") > 0
+        # metrics agree with the HCA's own counters
+        hca_desc = sum(c.node.hca.descriptors_processed for c in cluster.contexts)
+        assert m.value("ib.descriptors") == hca_desc
+
+    def test_send_queue_depth_gauge(self):
+        cluster = run_rndv()
+        depths = [
+            cluster.metrics.gauge("ib.sq_depth", c.node.node_id).max_value
+            for c in cluster.contexts
+        ]
+        assert max(depths) >= 1
+
+    def test_list_post_counter(self):
+        cluster = run_rndv(scheme="multi-w")
+        assert cluster.metrics.value("ib.list_posts") > 0
+
+
+class TestMPIMetrics:
+    def test_eager_vs_rndv_counts(self):
+        cluster = run_pingpong()
+        m = cluster.metrics
+        assert m.counter("mpi.eager_sends", 0).value == 2
+        assert m.counter("mpi.rndv_sends", 0).value == 0
+        cluster = run_rndv()
+        m = cluster.metrics
+        assert m.counter("mpi.rndv_sends", 0).value == 1
+        assert m.counter("mpi.eager_sends", 0).value == 0
+
+    def test_copy_bytes(self):
+        cluster = run_rndv()
+        m = cluster.metrics
+        # sender packs 64 KB, receiver unpacks 64 KB
+        assert m.counter("scheme.copy_bytes", 0).value == 64 * 1024
+        assert m.counter("scheme.copy_bytes", 1).value == 64 * 1024
+        assert m.value("scheme.copy_blocks") > 0
+
+    def test_unexpected_depth_gauge_exists(self):
+        cluster = run_pingpong()
+        # the gauge is registered for both ranks (value depends on timing)
+        assert "mpi.unexpected_depth" in cluster.metrics.names()
+
+
+class TestSchemeMetrics:
+    def test_segments_counted(self):
+        cluster = run_rndv()
+        m = cluster.metrics
+        assert m.counter("scheme.segments", 0).value >= 1  # sender plan
+        assert m.counter("scheme.segments", 1).value >= 1  # receiver plan
+
+    def test_multiw_pieces(self):
+        cluster = run_rndv(scheme="multi-w")
+        assert cluster.metrics.counter("scheme.rdma_pieces", 0).value == 128
+
+    def test_registration_counters(self):
+        cluster = run_rndv(scheme="multi-w")
+        m = cluster.metrics
+        assert m.value("reg.registrations") > 0
+        assert m.value("reg.registered_bytes") > 0
+
+
+class TestSchemeSpans:
+    def test_scheme_span_encloses_children(self):
+        cluster = run_rndv(trace=True)
+        tracer = cluster.tracer
+        sender_spans = [
+            r for r in tracer.records
+            if r.category == "scheme:bc-spup" and r.node == 0
+        ]
+        assert len(sender_spans) == 1
+        span = sender_spans[0]
+        kids = tracer.children(span.span_id)
+        assert {r.category for r in kids} >= {"pack"}
+        for kid in kids:
+            assert span.start <= kid.start and kid.end <= span.end
+        recv_spans = [
+            r for r in tracer.records
+            if r.category == "scheme:bc-spup" and r.node == 1
+        ]
+        assert len(recv_spans) == 1
+        recv_kids = tracer.children(recv_spans[0].span_id)
+        assert {r.category for r in recv_kids} >= {"unpack"}

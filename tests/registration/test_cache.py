@@ -108,6 +108,7 @@ class TestEviction:
         hits_after_b = run(sim, prog())
         assert hits_after_b == 1
         assert cache.misses == 4  # a, b, c, a-again
+        assert cache.evictions == 2  # a evicted by c, then c by a-again
 
     def test_in_use_entries_not_evicted(self):
         sim, node = make_node()
@@ -141,6 +142,39 @@ class TestEviction:
         assert dt >= node.cm.reg_time(4096)
         # nothing left pinned
         assert node.memory.registered_bytes == 0
+
+    def test_eviction_counter_exported_to_metrics(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=4096)
+
+        def prog():
+            a = yield from cache.acquire(0, 4096)
+            yield from cache.release(a)
+            b = yield from cache.acquire(4096, 4096)  # evicts a
+            yield from cache.release(b)
+
+        run(sim, prog())
+        assert cache.evictions == 1
+        m = node.metrics
+        assert m.counter("reg.cache.evictions", node.node_id).value == 1
+        assert m.counter("reg.cache.hits", node.node_id).value == cache.hits
+        assert m.counter("reg.cache.misses", node.node_id).value == cache.misses
+        # the pinned-bytes gauge saw the over-budget moment
+        assert m.gauge("reg.cache.pinned_bytes", node.node_id).max_value == 8192
+
+    def test_no_evictions_within_budget(self):
+        sim, node = make_node()
+        cache = RegistrationCache(node, capacity_bytes=1 << 20)
+
+        def prog():
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+            mr = yield from cache.acquire(0, 4096)
+            yield from cache.release(mr)
+
+        run(sim, prog())
+        assert cache.evictions == 0
+        assert node.metrics.counter("reg.cache.evictions", node.node_id).value == 0
 
     def test_flush(self):
         sim, node = make_node()
