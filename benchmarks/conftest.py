@@ -10,6 +10,14 @@ figure twice costs nothing.
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _no_fault_injection(monkeypatch):
+    """Benchmarks measure the fault-free cost model; a leaked
+    REPRO_FAULT_PROFILE would poison every cached sweep."""
+    monkeypatch.delenv("REPRO_FAULT_PROFILE", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+
+
 @pytest.fixture
 def run_figure(benchmark):
     """Run a cached figure sweep under pytest-benchmark; returns the

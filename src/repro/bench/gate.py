@@ -1,0 +1,134 @@
+"""Benchmark regression gate for CI.
+
+Measures per-scheme simulated performance at a few fig08 (ping-pong
+latency) and fig09 (streaming bandwidth) workload points, writes the
+numbers to a JSON report (``BENCH_2.json`` in CI), and compares them
+against the checked-in ``benchmarks/baseline.json``: any metric more
+than ``--tolerance`` (default 10%) *worse* than baseline fails the run.
+
+The simulation is deterministic, so in the absence of cost-model or
+protocol changes the measured numbers equal the baseline exactly; the
+tolerance only absorbs intentional small re-calibrations.  Fault
+injection is force-disabled for the measurement — faulty timings are a
+different experiment (see ``docs/FAULTS.md``).
+
+Usage::
+
+    python -m repro.bench.gate --out BENCH_2.json          # measure + gate
+    python -m repro.bench.gate --write-baseline            # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.runner import measure_bandwidth, measure_pingpong
+from repro.bench.workloads import column_vector
+
+__all__ = ["collect", "compare", "main"]
+
+#: schemes gated in CI (the paper's four implemented schemes)
+SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
+#: column-vector sizes: one small (latency-dominated, fig08's left edge)
+#: and one large (bandwidth-dominated, fig09's right half)
+COLUMNS = (64, 512)
+
+DEFAULT_BASELINE = Path("benchmarks/baseline.json")
+
+
+def collect() -> dict:
+    """Measure every gated metric; returns the report dict.
+
+    Keys are ``fig08/<scheme>/cols=<n>`` (one-way latency, us, lower is
+    better) and ``fig09/<scheme>/cols=<n>`` (streaming bandwidth, MB/s,
+    higher is better).
+    """
+    # the gate measures the fault-free cost model regardless of env
+    for var in ("REPRO_FAULT_PROFILE", "REPRO_FAULT_SEED"):
+        os.environ.pop(var, None)
+    metrics: dict[str, dict] = {}
+    for cols in COLUMNS:
+        wl = column_vector(cols)
+        for scheme in SCHEMES:
+            latency = measure_pingpong(scheme, wl.datatype)
+            metrics[f"fig08/{scheme}/cols={cols}"] = {
+                "value": latency, "unit": "us", "better": "lower",
+            }
+            bandwidth = measure_bandwidth(scheme, wl.datatype)
+            metrics[f"fig09/{scheme}/cols={cols}"] = {
+                "value": bandwidth, "unit": "MB/s", "better": "higher",
+            }
+    return {"schemes": list(SCHEMES), "columns": list(COLUMNS), "metrics": metrics}
+
+
+def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty when the gate passes)."""
+    failures = []
+    base_metrics = baseline.get("metrics", {})
+    for key, entry in report["metrics"].items():
+        base = base_metrics.get(key)
+        if base is None:
+            continue  # new metric: no baseline yet, informational only
+        value, ref = entry["value"], base["value"]
+        if ref == 0:
+            continue
+        if entry["better"] == "lower":
+            change = (value - ref) / ref
+        else:
+            change = (ref - value) / ref
+        if change > tolerance:
+            failures.append(
+                f"{key}: {value:.2f} {entry['unit']} vs baseline "
+                f"{ref:.2f} ({change * 100:.1f}% worse, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the measured report to this JSON file")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed relative regression (default 0.10)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="overwrite the baseline with fresh measurements")
+    args = ap.parse_args(argv)
+
+    report = collect()
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.write_baseline:
+        args.baseline.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote baseline {args.baseline}")
+        return 0
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --write-baseline",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    failures = compare(report, baseline, args.tolerance)
+    for key, entry in sorted(report["metrics"].items()):
+        base = baseline.get("metrics", {}).get(key)
+        ref = f"{base['value']:.2f}" if base else "n/a"
+        print(f"  {key:<32} {entry['value']:10.2f} {entry['unit']:<5} "
+              f"(baseline {ref})")
+    if failures:
+        print("\nbenchmark regressions:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Deterministic fault injection and recovery for the simulated stack.
+
+The paper evaluates its schemes on a fault-free fabric; this package
+supplies the reliability machinery a production datatype-communication
+stack needs underneath the verbs the paper orchestrates:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, immutable description
+  of *what* to inject (per-event rates, degradation parameters) with
+  named profiles (``none``, ``lossy``, ``flaky-hca``) selectable through
+  the ``REPRO_FAULT_PROFILE`` / ``REPRO_FAULT_SEED`` environment
+  variables;
+* :class:`~repro.faults.injector.FaultInjector` — the runtime that the
+  verbs/HCA layer consults per descriptor, per registration and per
+  control message.  All draws come from one seeded RNG, so a fixed seed
+  yields a byte-reproducible injection schedule, and a plan with no
+  active rates never draws at all (byte-identical to running without the
+  injector).
+
+Recovery lives where it does on real InfiniBand: transport-level retries
+and RNR backoff in the HCA send engine (:mod:`repro.ib.hca`), the QP
+error-state machine in :mod:`repro.ib.verbs`, rendezvous timeout and
+retransmission in :mod:`repro.mpi.context`, and scheme fallback in
+:mod:`repro.schemes.selector`.  See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import FAULT_PROFILES, FaultPlan
+
+__all__ = ["FAULT_PROFILES", "FaultEvent", "FaultInjector", "FaultPlan"]

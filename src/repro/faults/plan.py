@@ -1,0 +1,156 @@
+"""Seeded fault plans and named fault profiles.
+
+A :class:`FaultPlan` is an immutable value object: per-event-class
+injection probabilities plus the parameters of transient link
+degradation.  It carries the RNG seed that makes a whole run's injection
+schedule reproducible — the same seed over the same (deterministic)
+simulation produces the same faults at the same simulated times.
+
+Profiles map CI matrix names to plans:
+
+* ``none`` — every rate zero; installing this plan is guaranteed to be
+  byte-identical to running with no plan at all (the injector never
+  draws from its RNG and never schedules an event);
+* ``lossy`` — a congested/erroring fabric: completion errors, RNR-NAKs,
+  lost rendezvous control messages, occasional link degradation;
+* ``flaky-hca`` — a misbehaving adapter: frequent completion errors,
+  registration failures, and hard send-queue errors that force full QP
+  recoveries (and, upstream, scheme fallback to the copy-based Generic
+  path).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping, Optional
+
+__all__ = ["FAULT_PROFILES", "FaultPlan"]
+
+#: environment variables read by :meth:`FaultPlan.from_env`
+ENV_PROFILE = "REPRO_FAULT_PROFILE"
+ENV_SEED = "REPRO_FAULT_SEED"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, at which rates, driven by which seed."""
+
+    #: RNG seed for the whole run's injection schedule
+    seed: int = 0
+    #: name of the profile this plan came from (informational)
+    profile: str = "none"
+    #: probability that one send-engine transmission attempt completes in
+    #: error (retried by the transport up to ``CostModel.retry_cnt``)
+    cqe_error_rate: float = 0.0
+    #: probability that a receiver-side descriptor fetch NAKs with
+    #: receiver-not-ready (SEND / RDMA_WRITE_IMM only; retried after
+    #: ``CostModel.rnr_timer_us``)
+    rnr_rate: float = 0.0
+    #: probability that a rendezvous control message (RndvStart or
+    #: RndvReply — the two with retransmission paths) vanishes on the wire
+    ctrl_drop_rate: float = 0.0
+    #: probability that one memory-registration attempt fails transiently
+    reg_fail_rate: float = 0.0
+    #: probability (per processed descriptor) that the node's link enters
+    #: a degradation window
+    link_degrade_rate: float = 0.0
+    #: probability of an immediate hard send-queue error (QP drops to SQE
+    #: and undergoes a full recovery before the descriptor proceeds)
+    hard_fail_rate: float = 0.0
+    #: wire-bandwidth divisor while a degradation window is active
+    degrade_factor: float = 4.0
+    #: length of one link-degradation window (simulated us)
+    degrade_duration_us: float = 2000.0
+
+    _RATE_FIELDS = (
+        "cqe_error_rate",
+        "rnr_rate",
+        "ctrl_drop_rate",
+        "reg_fail_rate",
+        "link_degrade_rate",
+        "hard_fail_rate",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.degrade_factor < 1.0:
+            raise ValueError("degrade_factor must be >= 1.0")
+
+    @property
+    def active(self) -> bool:
+        """True when any event class can fire."""
+        return any(getattr(self, name) > 0.0 for name in self._RATE_FIELDS)
+
+    def with_overrides(self, **kwargs: Any) -> "FaultPlan":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def from_profile(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """Build the named profile (see :data:`FAULT_PROFILES`)."""
+        key = name.strip().lower()
+        if key not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {name!r}; "
+                f"choose from {sorted(FAULT_PROFILES)}"
+            )
+        return cls(seed=seed, profile=key, **FAULT_PROFILES[key])
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "FaultPlan":
+        """Plan selected by ``REPRO_FAULT_PROFILE`` / ``REPRO_FAULT_SEED``.
+
+        Unset (or ``none``) yields the inert plan, so code paths gated on
+        :attr:`active` behave exactly as if no injector were installed.
+        """
+        env = os.environ if environ is None else environ
+        profile = env.get(ENV_PROFILE, "none") or "none"
+        seed = int(env.get(ENV_SEED, "0") or "0")
+        return cls.from_profile(profile, seed=seed)
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        rates = ", ".join(
+            f"{name}={getattr(self, name):g}"
+            for name in self._RATE_FIELDS
+            if getattr(self, name) > 0.0
+        )
+        return (
+            f"FaultPlan(profile={self.profile}, seed={self.seed}, "
+            f"{rates or 'inert'})"
+        )
+
+
+#: named profiles for the CI fault matrix
+FAULT_PROFILES: dict[str, dict[str, float]] = {
+    "none": {},
+    "lossy": {
+        "cqe_error_rate": 0.03,
+        "rnr_rate": 0.02,
+        "ctrl_drop_rate": 0.08,
+        "link_degrade_rate": 0.002,
+        "degrade_factor": 4.0,
+        "degrade_duration_us": 2000.0,
+    },
+    "flaky-hca": {
+        "cqe_error_rate": 0.05,
+        "rnr_rate": 0.02,
+        "ctrl_drop_rate": 0.02,
+        "reg_fail_rate": 0.05,
+        "hard_fail_rate": 0.01,
+        "link_degrade_rate": 0.005,
+        "degrade_factor": 6.0,
+        "degrade_duration_us": 4000.0,
+    },
+}
+
+# keep dataclass field names and profile keys in sync
+_KNOWN = {f.name for f in fields(FaultPlan)}
+for _name, _cfg in FAULT_PROFILES.items():
+    _bad = set(_cfg) - _KNOWN
+    if _bad:  # pragma: no cover - guards future edits
+        raise RuntimeError(f"profile {_name!r} has unknown fields {_bad}")

@@ -126,6 +126,38 @@ class CostModel:
     dereg_base: float = 15.0
     dereg_per_page: float = 0.25
 
+    # -- reliability / recovery ------------------------------------------
+    #: transport retry budget for a send descriptor that completes in
+    #: error (IB ``retry_cnt``); exhaustion drops the QP to SQE
+    retry_cnt: int = 7
+    #: retry budget for receiver-not-ready NAKs (IB ``rnr_retry_cnt``)
+    rnr_retry_cnt: int = 7
+    #: responder-requested delay before an RNR retry (IB ``rnr_timer``)
+    rnr_timer_us: float = 12.0
+    #: base delay of the exponential backoff between transport retries
+    retry_backoff_us: float = 8.0
+    #: cap on the exponential transport-retry backoff
+    retry_backoff_max_us: float = 256.0
+    #: time to cycle a QP out of SQE/ERR back to RTS (modify-QP sequence,
+    #: drain + re-arm)
+    qp_recovery_us: float = 400.0
+    #: QP recoveries tolerated per descriptor before the simulation gives
+    #: up (guards against unlucky infinite loops at extreme fault rates)
+    qp_max_recoveries: int = 8
+    #: rendezvous handshake timeout before the sender retransmits the
+    #: start (or the receiver-side reply is re-requested)
+    rndv_timeout_us: float = 4000.0
+    #: retransmission budget of the rendezvous handshake
+    rndv_retry_limit: int = 8
+    #: attempts tolerated for one memory registration before giving up
+    reg_retry_limit: int = 64
+    #: hard QP failures against one peer before the scheme selector falls
+    #: back to the copy-based Generic path for that peer
+    fallback_hard_failures: int = 2
+    #: how long the fallback to Generic persists after the last hard
+    #: failure (us)
+    fallback_cooldown_us: float = 50_000.0
+
     # -- limits / protocol knobs -----------------------------------------
     #: max scatter/gather entries per descriptor (Mellanox SDK limit)
     max_sge: int = 64
@@ -217,6 +249,11 @@ class CostModel:
 
     def dereg_time(self, nbytes: int, addr: int = 0) -> float:
         return self.dereg_base + self.pages(nbytes, addr) * self.dereg_per_page
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Exponential-backoff delay before transport retry ``attempt``
+        (0-based), capped at :attr:`retry_backoff_max_us`."""
+        return min(self.retry_backoff_us * (2.0**attempt), self.retry_backoff_max_us)
 
     def segment_size_for(self, message_size: int) -> int:
         """The paper's static segment-size rule (Section 7.2).

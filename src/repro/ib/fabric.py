@@ -15,7 +15,7 @@ from typing import Optional
 
 from repro.ib.costmodel import CostModel
 from repro.ib.hca import Node
-from repro.ib.verbs import QueuePair
+from repro.ib.verbs import QPState, QueuePair
 from repro.obs.metrics import MetricsRegistry
 from repro.simulator import SimulationError, Simulator, Tracer
 
@@ -60,6 +60,8 @@ class Fabric:
             raise SimulationError("cannot connect a queue pair to itself")
         qp_a.peer = qp_b
         qp_b.peer = qp_a
+        qp_a.state = QPState.RTS
+        qp_b.state = QPState.RTS
 
     def connect_all(self, memory_capacity: int, n: int) -> list[Node]:
         """Create ``n`` nodes and a fully-connected QP mesh.

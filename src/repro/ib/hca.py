@@ -35,6 +35,7 @@ from repro.ib.verbs import (
     Completion,
     CompletionQueue,
     Opcode,
+    QPState,
     QueuePair,
     RecvWR,
     SendWR,
@@ -68,6 +69,9 @@ class Node:
         #: memory; CPU copies slow down while it is non-zero (memory-bus
         #: contention, see CostModel.membus_contention)
         self.dma_active = 0
+        #: fault-injection hook (repro.faults); None or a disabled injector
+        #: leaves every path byte-identical to the fault-free build
+        self.fault_injector = None
         self.hca = HCA(self)
 
     # -- CPU accounting ------------------------------------------------
@@ -136,8 +140,26 @@ class Node:
     def register(self, addr: int, length: int, *, charge: bool = True):
         """Register (pin) a region, charging registration time.
 
-        Generator returning the :class:`MemoryRegion`.
+        Generator returning the :class:`MemoryRegion`.  Under fault
+        injection a registration attempt may fail transiently (driver
+        resource exhaustion); each failed attempt still pays the pin walk
+        and is simply retried.
         """
+        inj = self.fault_injector
+        if inj is not None and inj.enabled:
+            attempts = 0
+            while inj.fail_registration(self.node_id, length):
+                attempts += 1
+                if attempts >= self.cm.reg_retry_limit:
+                    raise SimulationError(
+                        f"node {self.node_id}: registration of {length} bytes "
+                        f"still failing after {attempts} attempts"
+                    )
+                self.metrics.counter("reg.retries", self.node_id).inc()
+                if charge:
+                    yield from self.cpu_work(
+                        self.cm.reg_time(length, addr), "register_retry"
+                    )
         if charge:
             start = self.sim.now
             yield from self.cpu_work(self.cm.reg_time(length, addr), "register")
@@ -243,11 +265,90 @@ class HCA:
         down.callbacks.append(lambda _e: setattr(node, "dma_active", node.dma_active - 1))
         down.succeed(delay=start_delay + duration)
 
+    # -- fault injection / recovery ---------------------------------------
+
+    def _recover_qp(self, qp: QueuePair, recoveries: int):
+        """Cycle an errored QP back to RTS (modify-QP drain + re-arm)."""
+        if recoveries > self.cm.qp_max_recoveries:
+            raise SimulationError(
+                f"qp{qp.qp_num}: descriptor still failing after "
+                f"{recoveries - 1} QP recoveries"
+            )
+        start = self.sim.now
+        self.metrics.counter("qp.recoveries", self.node_id).inc()
+        yield self.sim.timeout(self.cm.qp_recovery_us)
+        qp.state = QPState.RTS
+        self.node.tracer.record(
+            start, self.sim.now, self.node_id, "fault", "qp_recovery"
+        )
+
+    def _transport_faults(self, qp: QueuePair, wr: SendWR):
+        """Model the reliable transport's error behavior for one
+        descriptor (generator; only called with an enabled injector).
+
+        Mirrors the IB RC transport: failed attempts retry with
+        exponential backoff up to ``retry_cnt``; receiver-not-ready NAKs
+        (opcodes that consume a remote receive WQE) retry after the RNR
+        timer up to ``rnr_retry_cnt``; budget exhaustion — or an injected
+        hard error — drops the QP to SQE and costs a full recovery before
+        the descriptor proceeds.  The descriptor itself is never lost:
+        re-posting after recovery is idempotent because the WR carries its
+        own gather list and destination.
+        """
+        inj = self.node.fault_injector
+        cm = self.cm
+        retries = self.metrics.counter("qp.retries", self.node_id)
+        recoveries = 0
+        while True:
+            if inj.hard_fail(self.node_id, qp.qp_num):
+                qp.set_error(QPState.SQE)
+                recoveries += 1
+                yield from self._recover_qp(qp, recoveries)
+                continue
+            if wr.opcode in (Opcode.SEND, Opcode.RDMA_WRITE_IMM):
+                rnr = 0
+                while inj.rnr(self.node_id, qp.qp_num):
+                    rnr += 1
+                    qp.rnr_naks += 1
+                    self.metrics.counter("qp.rnr_naks", self.node_id).inc()
+                    if rnr > cm.rnr_retry_cnt:
+                        break
+                    yield self.sim.timeout(cm.rnr_timer_us)
+                if rnr > cm.rnr_retry_cnt:
+                    qp.set_error(QPState.SQE)
+                    recoveries += 1
+                    yield from self._recover_qp(qp, recoveries)
+                    continue
+            attempt = 0
+            while inj.fail_send(self.node_id, qp.qp_num):
+                attempt += 1
+                qp.retries += 1
+                retries.inc()
+                if attempt > cm.retry_cnt:
+                    break
+                yield self.sim.timeout(cm.retry_backoff(attempt - 1))
+            if attempt > cm.retry_cnt:
+                qp.set_error(QPState.SQE)
+                recoveries += 1
+                yield from self._recover_qp(qp, recoveries)
+                continue
+            return
+
     def _inject(self, qp: QueuePair, wr: SendWR):
         """Process a SEND / RDMA_WRITE(_IMM) descriptor."""
         nbytes = wr.byte_len
+        inj = self.node.fault_injector
+        dropped = False
+        link = 1.0
+        if inj is not None and inj.enabled:
+            yield from self._transport_faults(qp, wr)
+            inj.maybe_degrade(self.node_id)
+            link = inj.link_factor(self.node_id)
+            dropped = inj.drop_ctrl(self.node_id, wr.payload)
         start = self.sim.now
         occupancy = self.cm.descriptor_time(nbytes, max(1, len(wr.sges)))
+        if link > 1.0:
+            occupancy += (link - 1.0) * self.cm.wire_time(nbytes)
         if wr.sges:
             # the HCA's gather DMA reads local memory during injection, and
             # the remote HCA's DMA writes remote memory one latency later
@@ -267,6 +368,11 @@ class HCA:
         # Local completion: the descriptor has left the send queue.
         if wr.signaled:
             self._complete_local(qp, wr, nbytes, delay=self.cm.cqe_delay)
+        # An injected control-message loss: the descriptor completed
+        # locally, but nothing arrives at the responder.  Only messages
+        # with an end-to-end retransmission path are ever dropped.
+        if dropped:
+            return
         # Remote delivery after the wire latency; channel semantics pay
         # the responder's receive-WQE fetch on top (one-sided RDMA does
         # not — the gap the RDMA eager channel exploits, [19]).
@@ -301,9 +407,14 @@ class HCA:
     def _stream_read_response(self, resp: _ReadResponse):
         """Responder side of an RDMA read: stream data back on the wire."""
         nbytes = len(resp.data)
+        inj = self.node.fault_injector
+        link = 1.0
+        if inj is not None and inj.enabled:
+            inj.maybe_degrade(self.node_id)
+            link = inj.link_factor(self.node_id)
         start = self.sim.now
         # read responses stream at the (lower) RDMA read bandwidth
-        occupancy = self.cm.hca_startup + nbytes / self.cm.rdma_read_bandwidth
+        occupancy = self.cm.hca_startup + nbytes * link / self.cm.rdma_read_bandwidth
         self._dma_bracket(self.node, 0.0, occupancy)
         self._dma_bracket(resp.req_qp.hca.node, self.cm.wire_latency, occupancy)
         yield self.sim.timeout(occupancy)

@@ -39,6 +39,7 @@ __all__ = [
     "Completion",
     "CompletionQueue",
     "Opcode",
+    "QPState",
     "QueuePair",
     "RecvWR",
     "SGE",
@@ -47,6 +48,23 @@ __all__ = [
 
 #: Mellanox SDK scatter/gather limit the paper cites in Section 5.1.
 MAX_SGE = 64
+
+
+class QPState(enum.Enum):
+    """The (reduced) IB queue-pair state machine.
+
+    Real QPs walk RESET→INIT→RTR→RTS; the simulation collapses the setup
+    ladder into RESET→RTS at :meth:`repro.ib.fabric.Fabric.connect` time.
+    Under fault injection a QP whose send queue errors beyond its retry
+    budget drops to SQE (send-queue error; receive side still live) and —
+    if recovery itself keeps failing — to ERR.  The HCA send engine cycles
+    SQE/ERR QPs back to RTS at ``CostModel.qp_recovery_us`` apiece.
+    """
+
+    RESET = "reset"
+    RTS = "rts"
+    SQE = "sqe"
+    ERR = "err"
 
 
 class Opcode(enum.Enum):
@@ -135,6 +153,14 @@ class Completion:
     src_qp: int = 0
     payload: object = None
     is_recv: bool = False
+    #: "ok" for a successful completion; fault injection surfaces
+    #: transport-level failures that exhausted their retry budget as
+    #: error CQEs ("transport_retry_exceeded", "rnr_retry_exceeded", ...)
+    status: str = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
 
 
 class CompletionQueue:
@@ -187,6 +213,17 @@ class QueuePair:
         self.recv_cq = recv_cq
         self.peer: Optional["QueuePair"] = None
         self._recv_queue: Store = Store(hca.sim, name=f"qp{self.qp_num}.rq")
+        #: state machine (RESET until Fabric.connect promotes to RTS)
+        self.state = QPState.RESET
+        #: transport retries performed for this QP's descriptors
+        self.retries = 0
+        #: RNR NAKs absorbed (each costs an rnr_timer wait)
+        self.rnr_naks = 0
+        #: times the QP fell to SQE/ERR and needed a full recovery
+        self.hard_failures = 0
+        #: simulated time of the most recent hard failure (scheme fallback
+        #: cooldown is measured from here)
+        self.last_hard_failure_us = float("-inf")
         #: counters for tests / stats
         self.posted_sends = 0
         self.posted_recvs = 0
@@ -268,6 +305,21 @@ class QueuePair:
             raise SimulationError(f"qp{self.qp_num} is not connected")
         for sge in wr.sges:
             self.hca.memory.check_local(sge.addr, sge.length, sge.lkey)
+
+    # -- error handling ---------------------------------------------------
+
+    def set_error(self, state: QPState = QPState.SQE) -> None:
+        """Drop the QP to an error state (send side).
+
+        Records the hard failure for the scheme selector's fallback
+        heuristic; the HCA send engine performs the actual recovery
+        (SQE/ERR → RTS) before touching the queue again.
+        """
+        self.state = state
+        self.hard_failures += 1
+        self.last_hard_failure_us = self.hca.sim.now
+        metrics = self.hca.node.metrics
+        metrics.counter("qp.hard_failures", self.hca.node_id).inc()
 
     def __repr__(self) -> str:  # pragma: no cover
         peer = self.peer.qp_num if self.peer else None

@@ -214,6 +214,12 @@ class RankContext:
         self._recv_ooo: dict[int, dict[int, "_Envelope"]] = {}
         # processes blocked in probe(), woken on every unexpected arrival
         self._probe_waiters: list[Event] = []
+        # fault recovery: replies recorded so a duplicate (retransmitted)
+        # rendezvous start can be answered again, and reply dedup so a
+        # retransmitted reply is delivered to the sender at most once.
+        # Both are only populated while fault injection is active.
+        self._rndv_replies: dict[int, tuple[int, object, int]] = {}
+        self._rndv_reply_seen: set[int] = set()
 
     # ------------------------------------------------------------------
     # setup (called by Cluster during "MPI_Init"; no simulated time)
@@ -678,6 +684,67 @@ class RankContext:
             SendWR(Opcode.SEND, payload=payload, extra_bytes=nbytes, signaled=False)
         )
 
+    @property
+    def faults_active(self) -> bool:
+        """True when this node carries an enabled fault injector."""
+        inj = self.node.fault_injector
+        return inj is not None and inj.enabled
+
+    def rdma_healthy(self, peer: int) -> bool:
+        """False while the control QP toward ``peer`` is inside the
+        hard-failure fallback window (see
+        :func:`repro.schemes.selector.apply_fault_fallback`)."""
+        qp = self.ctrl_qps.get(peer)
+        if qp is None or qp.hard_failures < self.cm.fallback_hard_failures:
+            return True
+        return (self.sim.now - qp.last_hard_failure_us) > self.cm.fallback_cooldown_us
+
+    def rndv_await_reply(self, req, start, nbytes: int = CTRL_HEADER_BYTES):
+        """Wait for the rendezvous reply to ``start`` (generator).
+
+        The fault-free path reduces to a plain inbox get.  With faults
+        active the wait is guarded by a timeout: on expiry the start is
+        retransmitted — idempotent, because the receiver admits envelopes
+        by sequence number and answers a duplicate start by re-sending its
+        recorded reply — and the timeout doubles, capped at 16x.  The
+        retransmit budget is soft: exhaustion is counted, not fatal, since
+        a reply can be legitimately late (deep rendezvous backlog) and
+        every retransmission remains safe.
+        """
+        inbox = self.msg_inbox(req.msg_id)
+        if not self.faults_active:
+            reply = yield inbox.get()
+            return reply
+        timeouts = self.metrics.counter("rndv.timeouts", self.rank)
+        retransmits = self.metrics.counter("rndv.retransmits", self.rank)
+        attempt = 0
+        while True:
+            get_ev = inbox.get()
+            timeout_us = self.cm.rndv_timeout_us * min(2.0**attempt, 16.0)
+            timer = self.sim.timeout(timeout_us)
+            ev, value = yield self.sim.any_of([get_ev, timer])
+            if ev is get_ev:
+                timer.cancel()  # abandoned timer must not hold the clock
+                return value
+            if not inbox.cancel_get(get_ev):
+                # the reply landed on the timeout's own timestamp
+                reply = yield get_ev
+                return reply
+            attempt += 1
+            timeouts.inc()
+            if attempt > self.cm.rndv_retry_limit:
+                self.metrics.counter("rndv.retry_exhausted", self.rank).inc()
+            retransmits.inc()
+            yield from self.ctrl_send(req.peer, start, nbytes=nbytes)
+
+    def rndv_reply(self, start, reply, nbytes: int = CTRL_HEADER_BYTES):
+        """Send a rendezvous reply (generator), recording it while faults
+        are active so a duplicate (retransmitted) start can be answered
+        again if this reply is lost on the wire."""
+        if self.faults_active:
+            self._rndv_replies[start.msg_id] = (start.src, reply, nbytes)
+        yield from self.ctrl_send(start.src, reply, nbytes=nbytes)
+
     def msg_inbox(self, msg_id: int) -> Store:
         """Control-message inbox for a rendezvous message."""
         box = self._msg_inbox.get(msg_id)
@@ -918,6 +985,7 @@ class RankContext:
             span.finish(self.sim.now)
             self._rndv_recv_slots.release(grant)
         self.close_inbox(start.msg_id)
+        self._rndv_replies.pop(start.msg_id, None)
         self._complete(rreq, src=start.src, tag=start.tag)
 
     def _dispatch_matched(self, rreq: Request, envelope: _Envelope) -> None:
@@ -975,6 +1043,14 @@ class RankContext:
                 # rendezvous control (reply/fin/segment arrival/read ack):
                 # route to the owning message's inbox
                 self._replenish_ctrl(cqe)
+                if isinstance(payload, RndvReply) and self.faults_active:
+                    # under fault injection a reply may arrive more than
+                    # once (the receiver re-answers retransmitted starts);
+                    # deliver it to the waiting sender exactly once.  The
+                    # seen-set is bounded by the run's message count.
+                    if payload.msg_id in self._rndv_reply_seen:
+                        continue
+                    self._rndv_reply_seen.add(payload.msg_id)
                 self.msg_inbox(payload.msg_id).put(payload)
             elif payload is None:
                 # bare notification (e.g. an imm-only write); replenish
@@ -984,9 +1060,20 @@ class RankContext:
 
     def _admit(self, src: int, seq: int, envelope: _Envelope):
         """Admit envelopes to matching strictly in per-source sequence
-        order (generator); out-of-order arrivals are parked."""
+        order (generator); out-of-order arrivals are parked, and an
+        already-admitted sequence number (only possible when fault
+        injection retransmits a rendezvous start) is answered with the
+        recorded reply instead of being matched twice."""
         expected = self._recv_expected.get(src, 1)
-        if seq != expected:
+        if seq < expected:
+            if envelope.kind == "rndv" and self.faults_active:
+                recorded = self._rndv_replies.get(envelope.header.msg_id)
+                if recorded is not None:
+                    dest, reply, nbytes = recorded
+                    self.metrics.counter("rndv.reply_resends", self.rank).inc()
+                    yield from self.ctrl_send(dest, reply, nbytes=nbytes)
+            return
+        if seq > expected:
             self._recv_ooo.setdefault(src, {})[seq] = envelope
             return
         yield from self._deliver_envelope(envelope)

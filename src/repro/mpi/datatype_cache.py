@@ -88,16 +88,29 @@ class ReceiverTypeRegistry:
             # keep the slot (and its version) so reuse bumps correctly
             self._slots[idx] = _TypeSlot(("freed",), Flattened.empty(), slot.version)
 
-    def encode_for(self, peer: int, signature: tuple, flattened: Flattened):
+    def encode_for(
+        self,
+        peer: int,
+        signature: tuple,
+        flattened: Flattened,
+        force_full: bool = False,
+    ):
         """What to put in the rendezvous reply for ``peer``.
 
         Returns ``("ref", index, version)`` when the peer already holds
         this exact (index, version), else ``("full", index, version,
         flattened)`` and records that the peer now holds it.
+
+        ``force_full`` disables the ref optimization.  Fault injection
+        requires it: "peer holds (index, version)" is recorded when the
+        full layout is *sent*, but a lossy fabric may drop that message
+        while a later ref-carrying reply for another message arrives
+        first (replies are not sequence-ordered across messages), and
+        the peer would resolve a ref it never received the full form of.
         """
         idx, version = self.intern(signature, flattened)
         state = self._peer_state.setdefault(peer, {})
-        if state.get(idx) == version:
+        if not force_full and state.get(idx) == version:
             return ("ref", idx, version)
         state[idx] = version
         return ("full", idx, version, flattened)

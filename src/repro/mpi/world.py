@@ -71,6 +71,12 @@ class Cluster:
         et al. [19] instead of channel-semantics send/receive — lower
         small-message latency (no receive-WQE processing at the
         responder).
+    fault_plan:
+        a :class:`repro.faults.FaultPlan` describing seeded fault
+        injection; defaults to :meth:`FaultPlan.from_env` (the
+        ``REPRO_FAULT_PROFILE`` / ``REPRO_FAULT_SEED`` environment
+        variables, inert when unset).  An inert plan installs no injector
+        and is byte-identical to a fault-free build.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class Cluster:
         memory_per_rank: int = 256 * MB,
         trace: bool = False,
         eager_rdma: bool = False,
+        fault_plan: Optional[Any] = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -105,10 +112,23 @@ class Cluster:
         self.fabric = Fabric(
             self.sim, self.cm, tracer=self.tracer, metrics=self.metrics
         )
+        from repro.faults import FaultInjector, FaultPlan
+
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        #: None unless the plan is active — an inert plan installs nothing,
+        #: keeping fault-free runs byte-identical to builds without faults
+        self.fault_injector = (
+            FaultInjector(self.sim, self.fault_plan, self.metrics, tracer=self.tracer)
+            if self.fault_plan.active
+            else None
+        )
         self.contexts: list[RankContext] = []
         for r in range(nranks):
             node = self.fabric.add_node(memory_per_rank)
             node.tracer = self.tracer
+            node.fault_injector = self.fault_injector
             self.contexts.append(RankContext(self, r, node))
         for ctx in self.contexts:
             ctx._setup_network(self.contexts)
@@ -137,11 +157,16 @@ class Cluster:
             req.nbytes > self.cm.eager_threshold
             and req.cursor.flat.is_contiguous
         ):
-            return ctx.get_scheme("multi-w")
-        scheme = ctx.get_scheme(self.scheme_name)
-        pick = getattr(scheme, "pick", None)
-        if pick is not None:
-            return pick(ctx, req)
+            scheme = ctx.get_scheme("multi-w")
+        else:
+            scheme = ctx.get_scheme(self.scheme_name)
+            pick = getattr(scheme, "pick", None)
+            if pick is not None:
+                scheme = pick(ctx, req)
+        if self.fault_injector is not None:
+            from repro.schemes.selector import apply_fault_fallback
+
+            scheme = apply_fault_fallback(ctx, req, scheme)
         return scheme
 
     # -- running ----------------------------------------------------------

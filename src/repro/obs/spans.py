@@ -29,7 +29,9 @@ def merge_intervals(intervals: Sequence[tuple]) -> list[tuple]:
     return merged
 
 
-def category_intervals(tracer, category: str, node: Optional[int] = None) -> list[tuple]:
+def category_intervals(
+    tracer, category: str, node: Optional[int] = None
+) -> list[tuple]:
     """Merged activity intervals of one category on one node (or all)."""
     return merge_intervals(
         [(r.start, r.end) for r in tracer.iter_category(category, node)]

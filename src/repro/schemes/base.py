@@ -170,7 +170,7 @@ def staged_receiver(
         msg_id=start.msg_id,
         segments=tuple((b.addr, b.rkey, b.size) for b in bufs),
     )
-    yield from ctx.ctrl_send(start.src, reply)
+    yield from ctx.rndv_reply(start, reply)
     cursor = rreq.cursor
     if cursor.total < nbytes:
         from repro.mpi.errors import TruncationError

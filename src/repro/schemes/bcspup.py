@@ -54,8 +54,10 @@ class BCSPUPScheme(DatatypeScheme):
             segsize = ctx.cm.segment_size_for(nbytes)
         segs = plan_segments(nbytes, segsize)
         ctx.metrics.counter("scheme.segments", ctx.rank).inc(len(segs))
-        yield from send_rndv_start(ctx, req, self.name, meta={"segsize": segsize})
-        reply = yield ctx.msg_inbox(req.msg_id).get()
+        start = yield from send_rndv_start(
+            ctx, req, self.name, meta={"segsize": segsize}
+        )
+        reply = yield from ctx.rndv_await_reply(req, start)
         assert isinstance(reply, RndvReply)
         assert len(reply.segments) >= len(segs)
         t_acquire = ctx.sim.now

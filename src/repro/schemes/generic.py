@@ -99,8 +99,8 @@ class GenericScheme(DatatypeScheme):
         addr, _size, mr = entry
         nblocks = pack_bytes(node.memory, req.addr, cur, 0, nbytes, addr)
         yield from ctx.charge_pack(nbytes, nblocks)
-        yield from send_rndv_start(ctx, req, self.name)
-        reply = yield ctx.msg_inbox(req.msg_id).get()
+        start = yield from send_rndv_start(ctx, req, self.name)
+        reply = yield from ctx.rndv_await_reply(req, start)
         assert isinstance(reply, RndvReply)
         dst_addr, dst_rkey, _cap = reply.segments[0]
         wr_id = ctx.new_wr_id()
@@ -129,7 +129,7 @@ class GenericScheme(DatatypeScheme):
         )
         addr, _size, mr = entry
         reply = RndvReply(msg_id=start.msg_id, segments=((addr, mr.rkey, nbytes),))
-        yield from ctx.ctrl_send(start.src, reply)
+        yield from ctx.rndv_reply(start, reply)
         note = yield ctx.msg_inbox(start.msg_id).get()
         assert isinstance(note, SegArrival) and note.last
         cur = rreq.cursor

@@ -71,10 +71,12 @@ class HybridScheme(DatatypeScheme):
         cur = req.cursor
         # ship the sender layout (cached per datatype) in the start
         signature = (req.datatype.signature(), req.count)
-        src_layout = ctx.type_registry.encode_for(req.peer, signature, cur.flat)
+        src_layout = ctx.type_registry.encode_for(
+            req.peer, signature, cur.flat, force_full=ctx.faults_active
+        )
         layout_bytes = cur.flat.wire_bytes if src_layout[0] == "full" else 0
         start = yield from self._send_start(ctx, req, src_layout, layout_bytes)
-        reply = yield ctx.msg_inbox(req.msg_id).get()
+        reply = yield from ctx.rndv_await_reply(req, start)
         assert isinstance(reply, RndvReply)
         dst_flat = ctx.dt_cache.resolve(req.peer, reply.layout)
         dst_base = reply.meta["base"]
@@ -239,7 +241,9 @@ class HybridScheme(DatatypeScheme):
             )
             segments = tuple((b.addr, b.rkey, b.size) for b in bufs)
         signature = (rreq.datatype.signature(), rreq.count)
-        layout = ctx.type_registry.encode_for(start.src, signature, cur.flat)
+        layout = ctx.type_registry.encode_for(
+            start.src, signature, cur.flat, force_full=ctx.faults_active
+        )
         extra = cur.flat.wire_bytes if layout[0] == "full" else 0
         reply = RndvReply(
             msg_id=start.msg_id,
@@ -247,7 +251,7 @@ class HybridScheme(DatatypeScheme):
             layout=layout,
             meta={"base": rreq.addr, "regions": reg.regions()},
         )
-        yield from ctx.ctrl_send(start.src, reply, nbytes=CTRL_HEADER_BYTES + extra)
+        yield from ctx.rndv_reply(start, reply, nbytes=CTRL_HEADER_BYTES + extra)
         # consume segment arrivals (unpack small pieces) until the fin
         inbox = ctx.msg_inbox(start.msg_id)
         while True:

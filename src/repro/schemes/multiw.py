@@ -89,12 +89,12 @@ class MultiWScheme(DatatypeScheme):
 
     def sender(self, ctx, req):
         cur = req.cursor
-        yield from send_rndv_start(ctx, req, self.name)
+        start = yield from send_rndv_start(ctx, req, self.name)
         # register the sender's user buffer while waiting for the reply
         reg = yield from RegisteredUserBuffer.acquire(
             ctx, req.addr, cur.flat, mode=self.registration_mode
         )
-        reply = yield ctx.msg_inbox(req.msg_id).get()
+        reply = yield from ctx.rndv_await_reply(req, start)
         assert isinstance(reply, RndvReply)
         dst_flat = ctx.dt_cache.resolve(req.peer, reply.layout)
         dst_base = reply.meta["base"]
@@ -154,7 +154,9 @@ class MultiWScheme(DatatypeScheme):
         )
         signature = (rreq.datatype.signature(), rreq.count)
         if self.use_dtype_cache:
-            layout = ctx.type_registry.encode_for(start.src, signature, cur.flat)
+            layout = ctx.type_registry.encode_for(
+                start.src, signature, cur.flat, force_full=ctx.faults_active
+            )
         else:
             # ablation: always ship the full representation
             idx, version = ctx.type_registry.intern(signature, cur.flat)
@@ -167,7 +169,7 @@ class MultiWScheme(DatatypeScheme):
             layout=layout,
             meta={"base": rreq.addr, "regions": reg.regions()},
         )
-        yield from ctx.ctrl_send(start.src, reply, nbytes=CTRL_HEADER_BYTES + extra)
+        yield from ctx.rndv_reply(start, reply, nbytes=CTRL_HEADER_BYTES + extra)
         note = yield ctx.msg_inbox(start.msg_id).get()
         assert isinstance(note, SegArrival) and note.last
         yield from reg.release(ctx)

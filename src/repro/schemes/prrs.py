@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.datatypes.pack import pack_bytes
 from repro.ib.verbs import MAX_SGE, Opcode, SGE, SendWR
-from repro.mpi.messages import SegAck, SegReady
+from repro.mpi.messages import RndvReply, SegAck, SegReady
 from repro.schemes.base import (
     DatatypeScheme,
     RegisteredUserBuffer,
@@ -39,9 +39,17 @@ class PRRSScheme(DatatypeScheme):
         nbytes = cur.total
         segsize = ctx.cm.segment_size_for(nbytes)
         segs = plan_segments(nbytes, segsize)
-        yield from send_rndv_start(
+        start = yield from send_rndv_start(
             ctx, req, self.name, meta={"segsize": segsize, "nseg": len(segs)}
         )
+        # P-RRS has no reply in the fault-free protocol (SegReady control
+        # messages drive the receiver directly), but a lost start would
+        # leave both sides waiting forever — so under fault injection the
+        # receiver acks the start and the sender gates on that ack with
+        # the usual timeout/retransmit machinery.
+        if ctx.faults_active:
+            ack = yield from ctx.rndv_await_reply(req, start)
+            assert isinstance(ack, RndvReply)
         inbox = ctx.msg_inbox(req.msg_id)
         blocks = yield from ctx.pack_pool.acquire_block([hi - lo for lo, hi in segs])
         bufs = {}
@@ -71,6 +79,10 @@ class PRRSScheme(DatatypeScheme):
             from repro.mpi.errors import TruncationError
 
             raise TruncationError("receive buffer smaller than incoming message")
+        if ctx.faults_active:
+            # ack the start so the sender's timeout machinery can tell a
+            # lost start from a slow receiver (see sender above)
+            yield from ctx.rndv_reply(start, RndvReply(msg_id=start.msg_id))
         reg = yield from RegisteredUserBuffer.acquire(ctx, rreq.addr, cur.flat)
         inbox = ctx.msg_inbox(start.msg_id)
         nseg = start.meta["nseg"]

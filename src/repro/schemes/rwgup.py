@@ -44,12 +44,14 @@ class RWGUPScheme(DatatypeScheme):
         segsize = ctx.cm.segment_size_for(nbytes)
         segs = plan_segments(nbytes, segsize)
         ctx.metrics.counter("scheme.segments", ctx.rank).inc(len(segs))
-        yield from send_rndv_start(ctx, req, self.name, meta={"segsize": segsize})
+        start = yield from send_rndv_start(
+            ctx, req, self.name, meta={"segsize": segsize}
+        )
         # register the user buffer while the handshake is in flight
         reg = yield from RegisteredUserBuffer.acquire(
             ctx, req.addr, cur.flat, mode=self.registration_mode
         )
-        reply = yield ctx.msg_inbox(req.msg_id).get()
+        reply = yield from ctx.rndv_await_reply(req, start)
         assert isinstance(reply, RndvReply)
         completions = []
         for i, (lo, hi) in enumerate(segs):

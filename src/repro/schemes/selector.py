@@ -24,7 +24,25 @@ from __future__ import annotations
 
 from repro.schemes.base import DatatypeScheme
 
-__all__ = ["AdaptiveScheme"]
+__all__ = ["AdaptiveScheme", "apply_fault_fallback"]
+
+
+def apply_fault_fallback(ctx, req, scheme: DatatypeScheme) -> DatatypeScheme:
+    """Graceful degradation under fault injection (sender side).
+
+    When the control QP toward the destination has taken repeated hard
+    failures (``CostModel.fallback_hard_failures`` within the
+    ``fallback_cooldown_us`` window), RDMA-heavy schemes stop paying
+    recovery costs on every descriptor: the message falls back to the
+    copy-based Generic path, whose single staged write minimizes exposure
+    to the flaky QP.  The receiver follows automatically because it always
+    runs the scheme named in the RndvStart.  Counted per fallback in
+    ``scheme.fallbacks``.
+    """
+    if scheme.name == "generic" or ctx.rdma_healthy(req.peer):
+        return scheme
+    ctx.metrics.counter("scheme.fallbacks", ctx.rank).inc()
+    return ctx.get_scheme("generic")
 
 
 class AdaptiveScheme(DatatypeScheme):

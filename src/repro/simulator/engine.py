@@ -60,7 +60,15 @@ class Event:
     into it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+    __slots__ = (
+        "sim",
+        "callbacks",
+        "_value",
+        "_exc",
+        "triggered",
+        "processed",
+        "cancelled",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -70,6 +78,7 @@ class Event:
         self._exc: Optional[BaseException] = None
         self.triggered = False
         self.processed = False
+        self.cancelled = False
 
     # -- triggering -----------------------------------------------------
 
@@ -91,6 +100,20 @@ class Event:
         self.triggered = True
         self._exc = exc
         self.sim._schedule(self, delay)
+        return self
+
+    def cancel(self) -> "Event":
+        """Withdraw a triggered-but-unprocessed event from the heap.
+
+        The heap entry is skipped without running callbacks or advancing
+        the clock — essential for abandoned timers (e.g. the losing arm
+        of an ``any_of([get, timeout])`` race), which would otherwise
+        keep the simulation alive until their deadline.  Cancelling
+        twice is idempotent; cancelling a processed event is an error.
+        """
+        if self.processed:
+            raise SimulationError(f"cannot cancel processed {self!r}")
+        self.cancelled = True
         return self
 
     # -- inspection ------------------------------------------------------
@@ -346,6 +369,8 @@ class Simulator:
     def step(self) -> None:
         """Process the next event in the heap."""
         time, _seq, event = heapq.heappop(self._heap)
+        if event.cancelled:
+            return
         if time < self.now:
             raise SimulationError("time went backwards")  # pragma: no cover
         self.now = time
@@ -362,12 +387,18 @@ class Simulator:
         Returns the final simulated time.
         """
         while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                break
+            if until is not None:
+                nxt = self.peek()
+                if not self._heap:
+                    break
+                if nxt > until:
+                    self.now = until
+                    break
             self.step()
         return self.now
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else float("inf")

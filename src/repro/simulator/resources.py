@@ -132,6 +132,18 @@ class Store:
             return self._items.popleft()
         return None
 
+    def cancel_get(self, ev: Event) -> bool:
+        """Withdraw a pending :meth:`get` event (e.g. after a timeout won
+        a race against it).  Returns False when the event is not waiting —
+        either it already triggered with an item or it was never ours; the
+        caller must then consume the event's value instead of dropping it.
+        """
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     def peek_all(self) -> list[Any]:
         """Snapshot of queued items (does not consume)."""
         return list(self._items)

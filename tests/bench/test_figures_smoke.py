@@ -12,6 +12,9 @@ import pytest
 from repro.bench import figures
 from repro.bench.__main__ import main as bench_main
 
+# timing anchors are meaningless under fault injection
+pytestmark = pytest.mark.faultfree
+
 
 class TestTinySweeps:
     def test_fig08_custom_columns(self):

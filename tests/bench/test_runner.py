@@ -16,6 +16,9 @@ from repro.bench.runner import (
 )
 from repro.bench.workloads import column_vector, fig10_struct
 
+# timing anchors are meaningless under fault injection
+pytestmark = pytest.mark.faultfree
+
 
 class TestPingpong:
     def test_returns_positive_latency(self):

@@ -1,0 +1,28 @@
+"""Suite-wide fixtures: fault-profile fencing for timing assertions.
+
+The CI fault matrix runs this whole suite under ``REPRO_FAULT_PROFILE``
+(none / lossy / flaky-hca) to prove that every data-movement path still
+delivers correct bytes with faults injected.  Tests that assert
+*simulated timings* — calibration anchors, scheme performance orderings,
+benchmark statistics — are meaningless with injected faults perturbing
+the clock; they carry the ``faultfree`` marker and run with the profile
+pinned back to inert regardless of the environment.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "faultfree: pin REPRO_FAULT_PROFILE=none — the test asserts "
+        "simulated timings, which fault injection perturbs",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _pin_fault_profile(request, monkeypatch):
+    """Strip the fault-profile environment for ``faultfree`` tests."""
+    if request.node.get_closest_marker("faultfree") is not None:
+        monkeypatch.delenv("REPRO_FAULT_PROFILE", raising=False)
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)

@@ -1,0 +1,78 @@
+"""Graceful degradation: scheme fallback to Generic on QP hard failures."""
+
+import pytest
+
+from repro import Cluster, types
+from repro.faults import FaultPlan
+from repro.ib.verbs import QPState
+from tests.mpi.helpers import check_blocks, fill_blocks
+
+DT = types.vector(64, 512, 1024, types.BYTE)
+
+
+def verified_send(cluster, dt=DT):
+    def rank0(mpi):
+        buf = mpi.alloc(dt.flatten(1).span + 64)
+        fill_blocks(mpi, buf, dt, 1)
+        yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+        return True
+
+    def rank1(mpi):
+        buf = mpi.alloc(dt.flatten(1).span + 64)
+        yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+        return check_blocks(mpi, buf, dt, 1)
+
+    res = cluster.run([rank0, rank1])
+    assert all(res.values)
+    return res
+
+
+class TestFallback:
+    def make_cluster(self, **kwargs):
+        plan = FaultPlan.from_profile("lossy", seed=1).with_overrides(
+            ctrl_drop_rate=0.0, cqe_error_rate=0.0, rnr_rate=0.0,
+            link_degrade_rate=0.0,
+        )
+        # plan must stay active so the injector (and fallback logic) is
+        # installed; hard failures are forced by hand below
+        plan = plan.with_overrides(hard_fail_rate=1e-9)
+        return Cluster(2, scheme="multi-w", fault_plan=plan, **kwargs)
+
+    def poison_qp(self, cluster, rank=0, peer=1):
+        """Push the control QP toward ``peer`` over the hard-failure
+        threshold, as repeated unrecoverable send-queue errors would."""
+        qp = cluster.contexts[rank].ctrl_qps[peer]
+        for _ in range(cluster.cm.fallback_hard_failures):
+            qp.set_error(QPState.SQE)
+            qp.state = QPState.RTS  # recovered, but the strikes remain
+        return qp
+
+    def test_unhealthy_qp_falls_back_to_generic(self):
+        cluster = self.make_cluster()
+        self.poison_qp(cluster)
+        verified_send(cluster)
+        fallbacks = sum(
+            cluster.metrics.counter_values("scheme.fallbacks").values()
+        )
+        assert fallbacks >= 1
+
+    def test_healthy_qp_keeps_configured_scheme(self):
+        cluster = self.make_cluster()
+        verified_send(cluster)
+        assert cluster.metrics.counter_values("scheme.fallbacks") == {}
+
+    def test_rdma_healthy_recovers_after_cooldown(self):
+        cluster = self.make_cluster()
+        ctx = cluster.contexts[0]
+        qp = self.poison_qp(cluster)
+        assert not ctx.rdma_healthy(1)
+        # outside the cooldown window the QP counts as healthy again
+        cluster.sim.now = qp.last_hard_failure_us + cluster.cm.fallback_cooldown_us + 1
+        assert ctx.rdma_healthy(1)
+
+    @pytest.mark.faultfree  # specifically tests the no-injector build
+    def test_fallback_never_triggers_without_injector(self):
+        cluster = Cluster(2, scheme="multi-w")
+        assert cluster.fault_injector is None
+        verified_send(cluster)
+        assert cluster.metrics.counter_values("scheme.fallbacks") == {}

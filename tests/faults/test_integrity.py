@@ -1,0 +1,115 @@
+"""Data integrity under fault injection.
+
+Every figure workload (fig08/fig09 column vectors, fig11 struct) must
+complete with byte-correct payloads under every fault profile, and the
+injected faults must actually exercise the recovery machinery (nonzero
+retry / timeout counters under the lossy and flaky profiles).
+"""
+
+import pytest
+
+from repro import Cluster
+from repro.bench.workloads import column_vector, fig10_struct
+from repro.faults import FaultPlan
+from tests.mpi.helpers import ALL_SCHEMES, check_blocks, fill_blocks
+
+PROFILES = ("none", "lossy", "flaky-hca")
+SEED = 7
+
+
+def plan_for(profile):
+    return FaultPlan.from_profile(profile, seed=SEED)
+
+
+def counter_total(cluster, name):
+    return sum(cluster.metrics.counter_values(name).values())
+
+
+def exchange(cluster, dt, repeats=1):
+    """Bidirectional verified transfer between 2 ranks, ``repeats`` times."""
+
+    def program(mpi):
+        peer = 1 - mpi.rank
+        span = dt.flatten(1).span + 64
+        sbuf = mpi.alloc(span)
+        rbuf = mpi.alloc(span)
+        fill_blocks(mpi, sbuf, dt, 1, seed=100 + mpi.rank)
+        for rep in range(repeats):
+            rs = yield from mpi.isend(sbuf, dt, 1, peer, tag=rep)
+            rr = yield from mpi.irecv(rbuf, dt, 1, peer, tag=rep)
+            yield from mpi.waitall([rs, rr])
+            check_blocks(mpi, rbuf, dt, 1, seed=100 + peer)
+        return True
+
+    res = cluster.run(program)
+    assert all(res.values)
+    return res
+
+
+class TestFigureWorkloads:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("cols", [64, 512])
+    def test_fig08_fig09_column_vector(self, profile, cols):
+        wl = column_vector(cols)
+        cluster = Cluster(2, scheme="adaptive", fault_plan=plan_for(profile))
+        exchange(cluster, wl.datatype, repeats=3)
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_fig11_struct(self, profile):
+        wl = fig10_struct(256)
+        cluster = Cluster(2, scheme="adaptive", fault_plan=plan_for(profile))
+        exchange(cluster, wl.datatype, repeats=2)
+
+    @pytest.mark.parametrize("profile", ["lossy", "flaky-hca"])
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_every_scheme_survives_faults(self, profile, scheme):
+        wl = column_vector(128)
+        cluster = Cluster(2, scheme=scheme, fault_plan=plan_for(profile))
+        exchange(cluster, wl.datatype, repeats=2)
+
+
+class TestRecoveryExercised:
+    def test_lossy_profile_hits_rendezvous_timeouts(self):
+        wl = column_vector(256)
+        cluster = Cluster(2, scheme="adaptive", fault_plan=plan_for("lossy"))
+        exchange(cluster, wl.datatype, repeats=10)
+        assert cluster.fault_injector.injected() > 0
+        assert counter_total(cluster, "rndv.timeouts") > 0
+        assert counter_total(cluster, "rndv.retransmits") > 0
+
+    def test_flaky_profile_hits_transport_retries(self):
+        wl = column_vector(256)
+        cluster = Cluster(
+            2, scheme="multi-w",
+            fault_plan=plan_for("flaky-hca").with_overrides(cqe_error_rate=0.3),
+        )
+        exchange(cluster, wl.datatype, repeats=5)
+        assert counter_total(cluster, "qp.retries") > 0
+
+    def test_recovery_metrics_visible_in_snapshot(self):
+        wl = column_vector(256)
+        cluster = Cluster(2, scheme="adaptive", fault_plan=plan_for("lossy"))
+        exchange(cluster, wl.datatype, repeats=10)
+        names = {row["name"] for row in cluster.metrics.snapshot()}
+        assert "faults.injected" in names
+        assert "rndv.timeouts" in names
+
+    def test_registration_retries_counted(self):
+        wl = column_vector(128)
+        plan = FaultPlan(profile="regtest", seed=3, reg_fail_rate=0.4)
+        cluster = Cluster(2, scheme="multi-w", fault_plan=plan)
+        exchange(cluster, wl.datatype, repeats=2)
+        assert cluster.fault_injector.injected("reg_fail") > 0
+        assert counter_total(cluster, "reg.retries") > 0
+
+    def test_fault_spans_reach_chrome_trace(self):
+        wl = column_vector(256)
+        cluster = Cluster(
+            2, scheme="adaptive", trace=True, fault_plan=plan_for("lossy")
+        )
+        exchange(cluster, wl.datatype, repeats=10)
+        assert cluster.fault_injector.injected() > 0
+        fault_records = [
+            r for r in cluster.tracer.records if r.category == "fault"
+        ]
+        assert len(fault_records) >= cluster.fault_injector.injected()

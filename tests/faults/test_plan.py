@@ -1,0 +1,73 @@
+"""FaultPlan value-object and profile behaviour."""
+
+import pytest
+
+from repro.faults import FAULT_PROFILES, FaultPlan
+from repro.faults.plan import ENV_PROFILE, ENV_SEED
+
+
+class TestPlan:
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.active
+        assert plan.profile == "none"
+
+    def test_any_positive_rate_activates(self):
+        assert FaultPlan(ctrl_drop_rate=0.1).active
+        assert FaultPlan(hard_fail_rate=0.001).active
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(cqe_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rnr_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(degrade_factor=0.5)
+
+    def test_with_overrides(self):
+        plan = FaultPlan.from_profile("lossy", seed=9)
+        tweaked = plan.with_overrides(ctrl_drop_rate=0.5)
+        assert tweaked.ctrl_drop_rate == 0.5
+        assert tweaked.seed == 9
+        # original unchanged (frozen)
+        assert plan.ctrl_drop_rate == FAULT_PROFILES["lossy"]["ctrl_drop_rate"]
+
+    def test_describe_mentions_profile_and_seed(self):
+        text = FaultPlan.from_profile("flaky-hca", seed=42).describe()
+        assert "flaky-hca" in text and "42" in text
+        assert "inert" in FaultPlan().describe()
+
+
+class TestProfiles:
+    def test_profile_names(self):
+        assert set(FAULT_PROFILES) == {"none", "lossy", "flaky-hca"}
+
+    def test_none_profile_inert(self):
+        assert not FaultPlan.from_profile("none").active
+
+    def test_lossy_and_flaky_active(self):
+        assert FaultPlan.from_profile("lossy").active
+        assert FaultPlan.from_profile("flaky-hca").active
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            FaultPlan.from_profile("chaos-monkey")
+
+    def test_profile_name_normalized(self):
+        assert FaultPlan.from_profile("  LOSSY ").profile == "lossy"
+
+
+class TestFromEnv:
+    def test_unset_environment_is_inert(self):
+        assert not FaultPlan.from_env({}).active
+
+    def test_profile_and_seed_from_env(self):
+        plan = FaultPlan.from_env({ENV_PROFILE: "lossy", ENV_SEED: "17"})
+        assert plan.profile == "lossy"
+        assert plan.seed == 17
+        assert plan.active
+
+    def test_empty_values_treated_as_unset(self):
+        plan = FaultPlan.from_env({ENV_PROFILE: "", ENV_SEED: ""})
+        assert not plan.active
+        assert plan.seed == 0

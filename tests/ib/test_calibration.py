@@ -16,6 +16,9 @@ from repro import Cluster, CostModel, types
 from repro.bench.runner import measure_bandwidth, measure_contig_pingpong
 from repro.ib.costmodel import MB
 
+# timing anchors are meaningless under fault injection
+pytestmark = pytest.mark.faultfree
+
 
 class TestContiguousAnchors:
     def test_small_message_latency_single_digit_us(self):

@@ -51,6 +51,7 @@ class TestBruckCorrectness:
 
 
 class TestSelection:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def test_bruck_wins_at_scale_with_tiny_chunks(self):
         """The measured crossover: at >= 32 ranks and <= 16 B chunks,
         Bruck's startup savings beat its extra copies."""

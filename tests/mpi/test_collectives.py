@@ -8,6 +8,7 @@ from tests.mpi.helpers import ALL_SCHEMES
 
 
 class TestBarrier:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     @pytest.mark.parametrize("n", [1, 2, 3, 4, 8])
     def test_barrier_synchronizes(self, n):
         """No rank leaves the barrier before the last rank enters it."""
@@ -139,6 +140,7 @@ class TestAlltoall:
         res = Cluster(n, scheme=scheme).run(program)
         assert all(res.values)
 
+    @pytest.mark.faultfree  # asserts a timing ordering
     def test_alltoall_schemes_improve_over_generic(self):
         """Figure 11 shape: the new schemes beat Generic on an 8-process
         alltoall with the struct datatype."""

@@ -120,6 +120,7 @@ class TestCorrectness:
 
 
 class TestLatency:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def test_ring_faster_than_channel(self):
         """The point of [19]: the polled ring shaves the responder's
         receive-WQE processing off the eager latency."""

@@ -289,6 +289,7 @@ class TestFlowControl:
 
 
 class TestTimingSanity:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     """Coarse timing-shape assertions (precise shapes: benchmarks/)."""
 
     def _pingpong(self, scheme, cols, iters=4):

@@ -100,6 +100,8 @@ class TestCorrectness:
         res = Cluster(2, scheme="hybrid").run([rank0, rank1])
         assert res.values[1] is True
 
+    # the ref optimization is deliberately disabled under fault injection
+    @pytest.mark.faultfree
     def test_repeated_sends_reuse_both_layout_caches(self):
         dt = bimodal_datatype(64, 2)
         cluster = Cluster(2, scheme="hybrid")
@@ -129,6 +131,7 @@ class TestCorrectness:
 
 
 class TestPerformance:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def test_hybrid_beats_all_fixed_on_bimodal(self):
         dt = bimodal_datatype(1024, 6)
         times = {

@@ -48,6 +48,7 @@ BIG_VECTOR = types.vector(128, 512, 4096, types.INT)  # 256 KB, 2 KB blocks
 
 
 class TestDatatypeCacheOnWire:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def test_second_multiw_send_uses_ref(self):
         cluster, times = repeat_transfer("multi-w", BIG_VECTOR, 3)
         sender = cluster.contexts[0]
@@ -117,6 +118,8 @@ class TestDatatypeCacheVersioning:
 
 
 class TestListDescriptorPost:
+    pytestmark = pytest.mark.faultfree  # asserts timings
+
     def test_list_post_faster_at_small_blocks(self):
         """Figure 13: list post wins when per-descriptor CPU post cost
         rivals the per-descriptor wire time."""
@@ -163,6 +166,7 @@ class TestSegmentUnpack:
 
 
 class TestAdaptiveSelection:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def _choices(self, dt, **cluster_kwargs):
         cluster = Cluster(2, scheme="adaptive", **cluster_kwargs)
         span = dt.flatten(1).span + 64
@@ -235,6 +239,7 @@ class TestAdaptiveSelection:
 
 
 class TestPRRS:
+    pytestmark = pytest.mark.faultfree  # asserts timings
     def test_prrs_slower_than_rwgup(self):
         """Section 5.2's prediction: P-RRS trails RWG-UP (read latency +
         per-segment control messages)."""

@@ -343,3 +343,55 @@ class TestDeterminism:
             return trace
 
         assert make_trace() == make_trace()
+
+
+class TestCancel:
+    def test_cancelled_timeout_does_not_advance_clock(self, sim):
+        def proc(sim):
+            t = sim.timeout(1000.0)
+            yield sim.timeout(5.0)
+            t.cancel()
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 5.0
+        assert sim.now == 5.0  # the dead timer never dragged the clock
+
+    def test_losing_any_of_arm_cancellable(self, sim):
+        def proc(sim):
+            fast = sim.timeout(3.0, "fast")
+            slow = sim.timeout(500.0, "slow")
+            ev, value = yield sim.any_of([fast, slow])
+            slow.cancel()
+            return value
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "fast"
+        assert sim.now == 3.0
+
+    def test_cancel_is_idempotent(self, sim):
+        t = sim.timeout(10.0)
+        t.cancel()
+        t.cancel()
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_cancel_processed_event_rejected(self, sim):
+        t = sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            t.cancel()
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.timeout(1.0)
+        sim.timeout(2.0)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+    def test_run_until_ignores_cancelled_head(self, sim):
+        sim.timeout(50.0).cancel()
+        sim.timeout(100.0)
+        sim.run(until=75.0)
+        assert sim.now == 75.0

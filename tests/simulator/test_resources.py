@@ -246,3 +246,33 @@ class TestSignal:
         p = sim.process(proc(sim))
         sim.run()
         assert p.value == 1
+
+
+class TestStoreCancelGet:
+    def test_cancel_pending_getter(self, sim):
+        store = Store(sim)
+        ev = store.get()
+        assert store.cancel_get(ev) is True
+        store.put("x")  # must not be consumed by the cancelled getter
+
+        def proc(sim):
+            got = yield store.get()
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "x"
+
+    def test_cancel_returns_false_once_satisfied(self, sim):
+        store = Store(sim)
+        store.put("x")
+        ev = store.get()  # satisfied immediately
+        assert store.cancel_get(ev) is False
+
+        def proc(sim):
+            got = yield ev
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "x"
