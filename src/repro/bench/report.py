@@ -68,8 +68,16 @@ def print_table(
 
 
 def write_csv(path: str, x_label: str, x_values: Sequence, series: Iterable[Series]) -> None:
-    """Write the series to a CSV file (directories created as needed)."""
+    """Write the series to a CSV file (directories created as needed).
+
+    Relative paths are resolved against ``$REPRO_RESULTS_DIR`` when it is
+    set, so test sweeps can be redirected away from the checked-in
+    ``results/`` files instead of silently overwriting them.
+    """
     series = list(series)
+    base = os.environ.get("REPRO_RESULTS_DIR")
+    if base and not os.path.isabs(path):
+        path = os.path.join(base, path)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)

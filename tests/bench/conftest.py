@@ -1,0 +1,26 @@
+"""Bench-test fixtures: keep sweep output away from checked-in results/.
+
+The figure and ablation sweeps write CSVs to relative ``results/...``
+paths, so a test run from the repo root would silently overwrite the
+checked-in reproduction data with tiny smoke-test sweeps.  Every test in
+this directory therefore gets ``REPRO_RESULTS_DIR`` pointed at one shared
+temporary directory (session-scoped, because the sweep functions are
+lru_cached across tests and only write their CSV on the first call).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_results_dir(tmp_path_factory):
+    """Redirect relative write_csv() paths into a temp dir for the session."""
+    d = tmp_path_factory.mktemp("bench-results")
+    old = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(d)
+    yield d
+    if old is None:
+        os.environ.pop("REPRO_RESULTS_DIR", None)
+    else:
+        os.environ["REPRO_RESULTS_DIR"] = old

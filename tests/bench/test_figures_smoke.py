@@ -33,9 +33,10 @@ class TestTinySweeps:
         b = figures.fig08((8, 64))
         assert a is b
 
-    def test_csv_written(self):
+    def test_csv_written(self, bench_results_dir):
         figures.fig08((8, 64))
-        assert os.path.exists("results/fig08.csv")
+        # redirected by REPRO_RESULTS_DIR — never the checked-in results/
+        assert (bench_results_dir / "results" / "fig08.csv").exists()
 
 
 class TestCli:
