@@ -29,7 +29,7 @@ from pathlib import Path
 from repro.bench.runner import measure_bandwidth, measure_pingpong
 from repro.bench.workloads import column_vector
 
-__all__ = ["collect", "compare", "main"]
+__all__ = ["collect", "compare", "main", "write_profile_artifacts"]
 
 #: schemes gated in CI (the paper's four implemented schemes)
 SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
@@ -38,6 +38,9 @@ SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
 COLUMNS = (64, 512)
 
 DEFAULT_BASELINE = Path("benchmarks/baseline.json")
+
+#: the representative profile CI attaches as an artifact (fig09, 64 KB)
+PROFILE_WORKLOAD = ("fig09", 65536)
 
 
 def collect() -> dict:
@@ -89,6 +92,33 @@ def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def write_profile_artifacts(outdir: Path) -> Path:
+    """Run the representative critical-path profile; write CI artifacts.
+
+    Profiles :data:`PROFILE_WORKLOAD` under every scheme, writing the
+    ranked bottleneck tables + cost-model explanations to
+    ``<outdir>/bottlenecks.txt`` and one annotated Chrome trace (spans +
+    resource counter tracks) per scheme to ``<outdir>/trace.<scheme>.<size>.json``.
+    Returns the report path.
+    """
+    from repro.obs.profile import run_profile
+    from repro.schemes import SCHEME_NAMES
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    lines: list[str] = []
+    workload, nbytes = PROFILE_WORKLOAD
+    run_profile(
+        workload=workload,
+        nbytes=nbytes,
+        schemes=SCHEME_NAMES,
+        chrome_out=str(outdir / "trace"),
+        print_fn=lambda *parts: lines.append(" ".join(str(p) for p in parts)),
+    )
+    report = outdir / "bottlenecks.txt"
+    report.write_text("\n".join(lines) + "\n")
+    return report
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
@@ -98,12 +128,19 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.10)")
     ap.add_argument("--write-baseline", action="store_true",
                     help="overwrite the baseline with fresh measurements")
+    ap.add_argument("--profile-dir", type=Path, default=None,
+                    help="also run the representative critical-path profile "
+                         "(fig09, 64 KB, every scheme) and write the "
+                         "bottleneck report + annotated Chrome traces here")
     args = ap.parse_args(argv)
 
     report = collect()
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
+    if args.profile_dir is not None:
+        path = write_profile_artifacts(args.profile_dir)
+        print(f"wrote profile artifacts under {path.parent}")
     if args.write_baseline:
         args.baseline.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"

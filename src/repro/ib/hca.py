@@ -64,7 +64,7 @@ class Node:
         self.tracer = tracer or Tracer()
         self.metrics = metrics or MetricsRegistry()
         self.memory = NodeMemory(node_id, memory_capacity, cm.page_size)
-        self.cpu = Resource(sim, capacity=1, name=f"cpu{node_id}")
+        self.cpu = Resource(sim, capacity=1, name=f"cpu{node_id}", node=node_id)
         #: number of HCA DMA streams currently reading/writing this node's
         #: memory; CPU copies slow down while it is non-zero (memory-bus
         #: contention, see CostModel.membus_contention)
@@ -83,7 +83,7 @@ class Node:
         grant = yield self.cpu.acquire()
         start = self.sim.now
         try:
-            yield self.sim.timeout(cost)
+            yield self.sim.timeout(cost, tag=tag)
         finally:
             self.cpu.release(grant)
         self.tracer.record(start, self.sim.now, self.node_id, "cpu", tag)
@@ -113,7 +113,7 @@ class Node:
             overhead = self.cm.copy_startup
         cost = overhead + nbytes * factor / self.cm.copy_bandwidth
         try:
-            yield self.sim.timeout(cost)
+            yield self.sim.timeout(cost, tag=tag)
         finally:
             self.cpu.release(grant)
         self.tracer.record(start, self.sim.now, self.node_id, "cpu", tag)
@@ -198,7 +198,9 @@ class HCA:
         self.cm = node.cm
         self.memory = node.memory
         self.node_id = node.node_id
-        self._send_queue: Store = Store(self.sim, name=f"hca{self.node_id}.sq")
+        self._send_queue: Store = Store(
+            self.sim, name=f"hca{self.node_id}.sq", node=self.node_id
+        )
         self.sim.process(self._send_engine(), name=f"hca{self.node_id}")
         #: wire bytes injected, for utilization stats
         self.bytes_injected = 0
@@ -276,7 +278,7 @@ class HCA:
             )
         start = self.sim.now
         self.metrics.counter("qp.recoveries", self.node_id).inc()
-        yield self.sim.timeout(self.cm.qp_recovery_us)
+        yield self.sim.timeout(self.cm.qp_recovery_us, tag="qp_recovery")
         qp.state = QPState.RTS
         self.node.tracer.record(
             start, self.sim.now, self.node_id, "fault", "qp_recovery"
@@ -313,7 +315,7 @@ class HCA:
                     self.metrics.counter("qp.rnr_naks", self.node_id).inc()
                     if rnr > cm.rnr_retry_cnt:
                         break
-                    yield self.sim.timeout(cm.rnr_timer_us)
+                    yield self.sim.timeout(cm.rnr_timer_us, tag="rnr")
                 if rnr > cm.rnr_retry_cnt:
                     qp.set_error(QPState.SQE)
                     recoveries += 1
@@ -326,7 +328,7 @@ class HCA:
                 retries.inc()
                 if attempt > cm.retry_cnt:
                     break
-                yield self.sim.timeout(cm.retry_backoff(attempt - 1))
+                yield self.sim.timeout(cm.retry_backoff(attempt - 1), tag="retry")
             if attempt > cm.retry_cnt:
                 qp.set_error(QPState.SQE)
                 recoveries += 1
@@ -346,7 +348,8 @@ class HCA:
             link = inj.link_factor(self.node_id)
             dropped = inj.drop_ctrl(self.node_id, wr.payload)
         start = self.sim.now
-        occupancy = self.cm.descriptor_time(nbytes, max(1, len(wr.sges)))
+        nsge = max(1, len(wr.sges))
+        occupancy = self.cm.descriptor_time(nbytes, nsge)
         if link > 1.0:
             occupancy += (link - 1.0) * self.cm.wire_time(nbytes)
         if wr.sges:
@@ -354,7 +357,12 @@ class HCA:
             # the remote HCA's DMA writes remote memory one latency later
             self._dma_bracket(self.node, 0.0, occupancy)
             self._dma_bracket(qp.peer.hca.node, self.cm.wire_latency, occupancy)
-        yield self.sim.timeout(occupancy)
+        # one timeout (splitting would perturb event ordering); the leading
+        # WQE-processing portion attributes as descriptor, the rest as wire
+        desc_us = occupancy - self.cm.wire_time(nbytes) * link
+        yield self.sim.timeout(
+            occupancy, tag=("split", (("descriptor", desc_us), ("wire", None)))
+        )
         self.node.tracer.record(
             start, self.sim.now, self.node_id, "wire", wr.opcode.value
         )
@@ -383,12 +391,17 @@ class HCA:
         ev.callbacks.append(
             lambda _e: peer.hca._deliver(peer, qp, wr, data)
         )
-        ev.succeed(delay=delay)
+        # wire propagation; any channel receive-WQE overhead on top is
+        # protocol cost, not wire time
+        ev.succeed(
+            delay=delay,
+            tag=("split", (("wire", self.cm.wire_latency), ("protocol-wait", None))),
+        )
 
     def _issue_read_request(self, qp: QueuePair, wr: SendWR):
         """RDMA read: ship the request to the responder's HCA."""
         start = self.sim.now
-        yield self.sim.timeout(self.cm.hca_startup)
+        yield self.sim.timeout(self.cm.hca_startup, tag="descriptor")
         self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_req")
         self.descriptors_processed += 1
         self.metrics.counter("ib.descriptors", self.node_id).inc()
@@ -402,7 +415,7 @@ class HCA:
 
         ev = self.sim.event()
         ev.callbacks.append(handle_request)
-        ev.succeed(delay=self.cm.wire_latency + self.cm.rdma_read_extra)
+        ev.succeed(delay=self.cm.wire_latency + self.cm.rdma_read_extra, tag="wire")
 
     def _stream_read_response(self, resp: _ReadResponse):
         """Responder side of an RDMA read: stream data back on the wire."""
@@ -417,7 +430,10 @@ class HCA:
         occupancy = self.cm.hca_startup + nbytes * link / self.cm.rdma_read_bandwidth
         self._dma_bracket(self.node, 0.0, occupancy)
         self._dma_bracket(resp.req_qp.hca.node, self.cm.wire_latency, occupancy)
-        yield self.sim.timeout(occupancy)
+        yield self.sim.timeout(
+            occupancy,
+            tag=("split", (("descriptor", self.cm.hca_startup), ("wire", None))),
+        )
         self.node.tracer.record(start, self.sim.now, self.node_id, "wire", "read_resp")
         self.bytes_injected += nbytes
         self.metrics.counter("ib.bytes_injected", self.node_id).inc(nbytes)
@@ -437,7 +453,10 @@ class HCA:
 
         ev = self.sim.event()
         ev.callbacks.append(land)
-        ev.succeed(delay=self.cm.wire_latency + self.cm.cqe_delay)
+        ev.succeed(
+            delay=self.cm.wire_latency + self.cm.cqe_delay,
+            tag=("split", (("wire", self.cm.wire_latency), ("protocol-wait", None))),
+        )
 
     # -- data movement -------------------------------------------------------
 
@@ -501,7 +520,7 @@ class HCA:
                     is_recv=True,
                 )
                 ev.callbacks.append(lambda _e: qp.recv_cq.push(cqe))
-                ev.succeed(delay=self.cm.eager_rdma_poll)
+                ev.succeed(delay=self.cm.eager_rdma_poll, tag="poll-detect")
         else:  # pragma: no cover - reads handled separately
             raise SimulationError(f"unexpected inbound opcode {wr.opcode}")
 
@@ -517,7 +536,7 @@ class HCA:
             is_recv=True,
         )
         ev.callbacks.append(lambda _e: qp.recv_cq.push(cqe))
-        ev.succeed(delay=self.cm.cqe_delay)
+        ev.succeed(delay=self.cm.cqe_delay, tag="cqe")
 
     def _complete_local(self, qp: QueuePair, wr: SendWR, nbytes: int, delay: float) -> None:
         ev = self.sim.event()
@@ -529,4 +548,4 @@ class HCA:
             src_qp=qp.qp_num,
         )
         ev.callbacks.append(lambda _e: qp.send_cq.push(cqe))
-        ev.succeed(delay=delay)
+        ev.succeed(delay=delay, tag="cqe")

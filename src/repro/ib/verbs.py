@@ -173,7 +173,7 @@ class CompletionQueue:
     def __init__(self, hca: "HCA", name: str = ""):
         self.hca = hca
         self.name = name
-        self._store = Store(hca.sim, name=name)
+        self._store = Store(hca.sim, name=name, node=hca.node_id)
         self._completions = hca.node.metrics.counter(
             "ib.cq_completions", hca.node_id
         )
@@ -212,7 +212,9 @@ class QueuePair:
         self.send_cq = send_cq
         self.recv_cq = recv_cq
         self.peer: Optional["QueuePair"] = None
-        self._recv_queue: Store = Store(hca.sim, name=f"qp{self.qp_num}.rq")
+        self._recv_queue: Store = Store(
+            hca.sim, name=f"qp{self.qp_num}.rq", node=hca.node_id
+        )
         #: state machine (RESET until Fabric.connect promotes to RTS)
         self.state = QPState.RESET
         #: transport retries performed for this QP's descriptors

@@ -192,7 +192,7 @@ class RankContext:
         from repro.simulator import Resource
 
         self._rndv_recv_slots = Resource(
-            self.sim, capacity=RNDV_RECV_LIMIT, name=f"rndv{rank}"
+            self.sim, capacity=RNDV_RECV_LIMIT, name=f"rndv{rank}", node=rank
         )
         # RDMA-eager rings (when cluster.eager_rdma): inbound ring
         # metadata per peer, outbound free-slot tokens per peer
@@ -721,7 +721,7 @@ class RankContext:
         while True:
             get_ev = inbox.get()
             timeout_us = self.cm.rndv_timeout_us * min(2.0**attempt, 16.0)
-            timer = self.sim.timeout(timeout_us)
+            timer = self.sim.timeout(timeout_us, tag="rndv-timeout")
             ev, value = yield self.sim.any_of([get_ev, timer])
             if ev is get_ev:
                 timer.cancel()  # abandoned timer must not hold the clock
@@ -792,7 +792,7 @@ class RankContext:
         req.status_src = src if src is not None else req.peer
         req.status_tag = tag if tag is not None else req.tag
         if not req.done.triggered:
-            req.done.succeed(req)
+            req.done.succeed(req, tag="complete")
 
     # ------------------------------------------------------------------
     # internal: self messages

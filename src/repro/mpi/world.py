@@ -66,6 +66,12 @@ class Cluster:
     trace:
         enable interval tracing (CPU/wire/registration) for overlap
         analysis.
+    profile:
+        attach a :class:`repro.obs.profile.Profiler` to the simulator,
+        enabling causal provenance on every event plus resource wait /
+        queue-depth sampling — the input of the critical-path profiler.
+        Off by default; a profiled run's simulated timings are identical
+        to an unprofiled one (provenance is recording, not behaviour).
     eager_rdma:
         route eager messages through the polled RDMA ring channel of Liu
         et al. [19] instead of channel-semantics send/receive — lower
@@ -91,6 +97,7 @@ class Cluster:
         trace: bool = False,
         eager_rdma: bool = False,
         fault_plan: Optional[Any] = None,
+        profile: bool = False,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -109,6 +116,14 @@ class Cluster:
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
         self.metrics = MetricsRegistry()
+        #: None unless profiling was requested — leaving the simulator's
+        #: profiler unset keeps unprofiled runs free of provenance work
+        self.profiler = None
+        if profile:
+            from repro.obs.profile import Profiler
+
+            self.profiler = Profiler(self.metrics)
+            self.sim.profiler = self.profiler
         self.fabric = Fabric(
             self.sim, self.cm, tracer=self.tracer, metrics=self.metrics
         )

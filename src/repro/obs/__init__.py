@@ -12,14 +12,24 @@ Three pieces (see docs/OBSERVABILITY.md):
   clock);
 * **exporters** — Chrome trace-event JSON (:mod:`repro.obs.chrome`) and
   plain-text/CSV metric snapshots, driven from the ``python -m repro.obs``
-  CLI (:mod:`repro.obs.report`).
+  CLI (:mod:`repro.obs.report`);
+* **critical-path profiler** — causal bottleneck attribution over the
+  engine's provenance records (:mod:`repro.obs.profile`) and the
+  predicted-vs-simulated cost explainer (:mod:`repro.obs.explain`); see
+  docs/PROFILING.md.
 
 This package deliberately avoids importing the simulator/MPI stack at
-module level (only :mod:`repro.obs.report` does, lazily via the CLI), so
-the instrumented layers can import it without cycles.
+module level (only :mod:`repro.obs.report` and the profiled-run helpers
+do, lazily via the CLI), so the instrumented layers can import it without
+cycles.
 """
 
-from repro.obs.chrome import chrome_trace_events, export_chrome_trace
+from repro.obs.chrome import (
+    chrome_trace_events,
+    counter_track_events,
+    export_chrome_trace,
+)
+from repro.obs.explain import CategoryDelta, explain, format_explanation
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_US_BUCKETS,
@@ -27,6 +37,15 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profile import (
+    CATEGORIES,
+    Attribution,
+    PathStep,
+    Profiler,
+    categorize,
+    critical_path,
+    format_bottlenecks,
 )
 from repro.obs.spans import (
     category_intervals,
@@ -36,15 +55,26 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Attribution",
+    "CATEGORIES",
+    "CategoryDelta",
     "Counter",
     "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_US_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PathStep",
+    "Profiler",
+    "categorize",
     "category_intervals",
     "chrome_trace_events",
+    "counter_track_events",
+    "critical_path",
+    "explain",
     "export_chrome_trace",
+    "format_bottlenecks",
+    "format_explanation",
     "merge_intervals",
     "overlap_us",
     "span_tree",

@@ -1,7 +1,10 @@
-"""CLI: ``python -m repro.obs report [options]``.
+"""CLI: ``python -m repro.obs {report,profile} [options]``.
 
-Prints the per-scheme time breakdown table and optionally exports Chrome
-trace JSON and a metrics CSV snapshot.
+``report`` prints the per-scheme time breakdown table and optionally
+exports Chrome trace JSON and a metrics CSV snapshot.  ``profile`` runs
+the critical-path profiler: a ranked bottleneck table per scheme, the
+cost-model explanation (predicted vs simulated per category), and an
+annotated Chrome trace with resource counter tracks.
 """
 
 from __future__ import annotations
@@ -52,6 +55,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final run's metric snapshot as CSV",
     )
+    prof = sub.add_parser(
+        "profile",
+        help="critical-path bottleneck attribution + cost-model explanation",
+    )
+    prof.add_argument(
+        "workload",
+        choices=("fig02", "fig08", "fig09", "fig11"),
+        help="figure workload supplying the datatype",
+    )
+    prof.add_argument(
+        "schemes",
+        nargs="*",
+        default=[],
+        help=f"schemes to profile (default: {' '.join(DEFAULT_SCHEMES)})",
+    )
+    prof.add_argument(
+        "--size",
+        type=int,
+        default=65536,
+        help="target message size in bytes (default: 65536)",
+    )
+    prof.add_argument(
+        "--chrome-trace",
+        metavar="PREFIX",
+        default=None,
+        help=(
+            "write an annotated Chrome trace (spans + resource counter "
+            "tracks) per scheme to PREFIX.<scheme>.<size>.json"
+        ),
+    )
     return parser
 
 
@@ -64,6 +97,16 @@ def main(argv=None) -> int:
             schemes=args.schemes,
             chrome_out=args.chrome_trace,
             metrics_out=args.metrics_csv,
+        )
+        return 0
+    if args.command == "profile":
+        from repro.obs.profile import run_profile
+
+        run_profile(
+            workload=args.workload,
+            nbytes=args.size,
+            schemes=args.schemes or None,
+            chrome_out=args.chrome_trace,
         )
         return 0
     return 2  # pragma: no cover

@@ -5,15 +5,43 @@ per trace category, so the pack / wire / unpack / registration pipeline of
 a transfer reads directly as the paper's Figure 3 Gantt chart.  Timestamps
 are simulated microseconds, which is exactly the unit the trace-event
 format expects.
+
+Profiled runs additionally carry *counter* tracks (``"ph": "C"``):
+resource occupancy and queue-depth time series sampled by the
+:class:`~repro.obs.profile.Profiler` render as per-node area charts under
+the span lanes, so a send-queue backlog lines up visually with the wire
+spans it delays.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["chrome_trace_events", "export_chrome_trace"]
+__all__ = ["chrome_trace_events", "counter_track_events", "export_chrome_trace"]
+
+
+def counter_track_events(series: dict) -> list[dict]:
+    """Convert profiler time series to Chrome counter events.
+
+    ``series`` maps ``(name, node)`` to a list of ``(t_us, value)``
+    samples (see :attr:`repro.obs.profile.Profiler.series`).  Counters on
+    ``node=None`` render under a synthetic cluster-wide pid.
+    """
+    events: list[dict] = []
+    for (name, node), points in sorted(
+        series.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+    ):
+        pid = -1 if node is None else node
+        for t, value in points:
+            events.append(
+                {
+                    "name": name, "ph": "C", "ts": t, "pid": pid,
+                    "args": {"value": value},
+                }
+            )
+    return events
 
 
 def chrome_trace_events(tracer) -> list[dict]:
@@ -61,14 +89,18 @@ def chrome_trace_events(tracer) -> list[dict]:
     return events
 
 
-def export_chrome_trace(tracer, path: Optional[str] = None) -> str:
+def export_chrome_trace(
+    tracer, path: Optional[str] = None, counters: Optional[Sequence[dict]] = None
+) -> str:
     """Serialize the tracer as Chrome trace JSON; optionally write it.
 
-    Returns the JSON text (guaranteed to round-trip through
-    ``json.loads``)."""
-    text = json.dumps(
-        {"traceEvents": chrome_trace_events(tracer), "displayTimeUnit": "ms"}
-    )
+    ``counters`` appends pre-built counter events (see
+    :func:`counter_track_events`) after the span events.  Returns the
+    JSON text (guaranteed to round-trip through ``json.loads``)."""
+    events = chrome_trace_events(tracer)
+    if counters:
+        events.extend(counters)
+    text = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
     if path is not None:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "w") as fh:

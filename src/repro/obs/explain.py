@@ -1,0 +1,106 @@
+"""Cost-model explainer: predicted vs simulated critical-path costs.
+
+Every scheme exposes ``predict_profile(cm, flat, nbytes)`` — a closed-form
+:class:`~repro.ib.costmodel.CostModel` prediction of how its critical path
+splits across the attribution categories.  This module replays a measured
+:class:`~repro.obs.profile.Attribution` against that prediction and
+reports, per category, predicted microseconds, simulated microseconds,
+and the delta — flagging any category whose divergence exceeds
+:data:`DIVERGENCE_THRESHOLD` of the simulated end-to-end latency.
+
+A flag is a *finding*, not a failure: it marks where the analytical model
+and the discrete-event simulation disagree (pipeline fill effects,
+contention the closed form cannot see, cache hits the prediction assumed
+cold, ...), which is exactly the information a performance model needs to
+improve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.profile import CATEGORIES, Attribution
+
+__all__ = [
+    "CategoryDelta",
+    "DIVERGENCE_THRESHOLD",
+    "explain",
+    "format_explanation",
+    "predict",
+]
+
+#: |predicted - simulated| above this fraction of the simulated
+#: end-to-end latency flags the category as divergent
+DIVERGENCE_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class CategoryDelta:
+    """Predicted-vs-simulated comparison for one category."""
+
+    category: str
+    predicted_us: float
+    simulated_us: float
+    #: divergence normalized by the simulated end-to-end latency
+    divergence: float
+
+    @property
+    def delta_us(self) -> float:
+        return self.predicted_us - self.simulated_us
+
+    @property
+    def flagged(self) -> bool:
+        return self.divergence > DIVERGENCE_THRESHOLD
+
+
+def predict(scheme: str, cm, flat, nbytes: int) -> dict:
+    """The scheme's closed-form prediction, normalized over CATEGORIES."""
+    from repro.schemes import _FACTORIES
+
+    raw = _FACTORIES[scheme].predict_profile(cm, flat, nbytes)
+    return {c: float(raw.get(c, 0.0)) for c in CATEGORIES}
+
+
+def explain(
+    scheme: str, cm, flat, nbytes: int, attribution: Attribution
+) -> list[CategoryDelta]:
+    """Compare a measured attribution against the scheme's prediction."""
+    predicted = predict(scheme, cm, flat, nbytes)
+    total = max(attribution.total_us, 1e-12)
+    deltas = []
+    for category in CATEGORIES:
+        pred = predicted[category]
+        sim = attribution.categories.get(category, 0.0)
+        deltas.append(
+            CategoryDelta(
+                category=category,
+                predicted_us=pred,
+                simulated_us=sim,
+                divergence=abs(pred - sim) / total,
+            )
+        )
+    return deltas
+
+
+def format_explanation(deltas: Sequence[CategoryDelta]) -> str:
+    """Render the per-category comparison as an aligned text table."""
+    header = (
+        f"{'category':<15} {'predicted':>10} {'simulated':>10} "
+        f"{'delta_us':>9} {'diverg':>7}"
+    )
+    lines = ["cost-model explanation (flag: >10% of end-to-end)", header,
+             "-" * len(header)]
+    for d in deltas:
+        flag = " !" if d.flagged else ""
+        lines.append(
+            f"{d.category:<15} {d.predicted_us:>10.2f} {d.simulated_us:>10.2f} "
+            f"{d.delta_us:>+9.2f} {100.0 * d.divergence:>6.1f}%{flag}"
+        )
+    pred_total = sum(d.predicted_us for d in deltas)
+    sim_total = sum(d.simulated_us for d in deltas)
+    lines.append(
+        f"{'total':<15} {pred_total:>10.2f} {sim_total:>10.2f} "
+        f"{pred_total - sim_total:>+9.2f}"
+    )
+    return "\n".join(lines)

@@ -99,6 +99,30 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0-100) from the buckets.
+
+        Linear interpolation within the bucket containing the rank, with
+        the bucket's lower bound at its cumulative start.  Observations in
+        the overflow slot report the last finite bound (the histogram
+        cannot see beyond it).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p!r} out of range [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            if self.counts[i]:
+                if cumulative + self.counts[i] >= rank:
+                    frac = max(0.0, rank - cumulative) / self.counts[i]
+                    return lower + frac * (bound - lower)
+                cumulative += self.counts[i]
+            lower = bound
+        return self.buckets[-1]  # overflow observations clamp here
+
 
 class MetricsRegistry:
     """Factory and store for all instruments, keyed by (name, node)."""
@@ -185,6 +209,8 @@ class MetricsRegistry:
                 {
                     "type": "histogram", "name": name, "node": node,
                     "value": h.total, "count": h.count, "mean": h.mean,
+                    "p50": h.percentile(50), "p95": h.percentile(95),
+                    "p99": h.percentile(99),
                     "buckets": list(zip(list(h.buckets) + ["+inf"], h.counts)),
                 }
             )
@@ -204,7 +230,8 @@ class MetricsRegistry:
             else:
                 lines.append(
                     f"{row['name']}{{{where}}} count={row['count']} "
-                    f"sum={row['value']:g} mean={row['mean']:g}"
+                    f"sum={row['value']:g} mean={row['mean']:g} "
+                    f"p50={row['p50']:g} p95={row['p95']:g} p99={row['p99']:g}"
                 )
         return "\n".join(lines)
 
@@ -221,7 +248,10 @@ class MetricsRegistry:
                 if row["type"] == "gauge":
                     extra = f"max={row['max']:g}"
                 elif row["type"] == "histogram":
-                    extra = f"count={row['count']}"
+                    extra = (
+                        f"count={row['count']} p50={row['p50']:g} "
+                        f"p95={row['p95']:g} p99={row['p99']:g}"
+                    )
                 else:
                     extra = ""
                 writer.writerow(

@@ -1,0 +1,419 @@
+"""Critical-path profiler: causal bottleneck attribution.
+
+When a :class:`~repro.mpi.world.Cluster` is built with ``profile=True``,
+the simulator records, for every scheduled event, the event that caused it
+(``_cause``), its scheduling and fire times, and an attribution tag
+(``_ptag``).  Because every trigger happens while some event is being
+processed, an event's scheduling time equals its cause's fire time — so
+the backward cause chain from any completion partitions the run into
+time-contiguous intervals.  :func:`critical_path` walks that chain and
+attributes every microsecond of an operation to one of six categories:
+
+``copy``
+    CPU pack/unpack/memcpy work (the datatype engine and byte copies).
+``wire``
+    HCA injection and link traversal of payload bytes.
+``descriptor``
+    descriptor handling: CPU posts, HCA per-descriptor startup and
+    per-SGE gather overhead, datatype processing that builds descriptors.
+``registration``
+    memory registration/deregistration, dynamic allocation, page faults.
+``resource-wait``
+    time queued behind a busy counted resource (CPU core, staging pool).
+``protocol-wait``
+    rendezvous control traffic, CQ polling, completion delays — protocol
+    machinery that is neither payload movement nor contention.
+
+The attribution is *exact by construction*: the walker keeps a
+monotonically decreasing cursor and clips every interval against it, so
+the per-category times tile ``[t0, end]`` and sum to the measured
+operation latency (tests assert to within 0.1%).
+
+The :class:`Profiler` object additionally samples resource utilization
+and queue depths into time series (exported as Chrome/Perfetto *counter*
+tracks) and wait-time histograms in the metrics registry.  Every
+instrument it creates is prefixed ``profile.`` so unprofiled runs are
+trivially shown to carry none of them.
+
+This module imports nothing from the simulator/MPI stack at module level
+(only :func:`profile_transfer` does, lazily), keeping ``repro.obs``
+import-cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "Attribution",
+    "CATEGORIES",
+    "PathStep",
+    "Profiler",
+    "categorize",
+    "critical_path",
+    "format_bottlenecks",
+    "profile_transfer",
+    "run_profile",
+]
+
+#: the attribution categories, in report order
+CATEGORIES = (
+    "copy",
+    "wire",
+    "descriptor",
+    "registration",
+    "resource-wait",
+    "protocol-wait",
+)
+
+#: timeout/succeed tags -> category (tags not listed fall to the
+#: suffix heuristics in :func:`categorize`, then to protocol-wait)
+_TAG_CATEGORY = {
+    # copy: datatype engine + byte movement on a CPU
+    "pack": "copy",
+    "unpack": "copy",
+    "copy": "copy",
+    "user-pack": "copy",
+    "user-unpack": "copy",
+    # wire: HCA injection / link traversal of payload
+    "wire": "wire",
+    "wire-latency": "wire",
+    # descriptor: building, posting and starting descriptors
+    "descriptor": "descriptor",
+    "post_send": "descriptor",
+    "post_send_list": "descriptor",
+    "post_recv": "descriptor",
+    "dtproc": "descriptor",
+    # registration: pinning, unpinning, allocation, page faults
+    "register": "registration",
+    "register_retry": "registration",
+    "deregister": "registration",
+    "malloc": "registration",
+    "free": "registration",
+    # explicit protocol machinery
+    "ctrl": "protocol-wait",
+    "poll": "protocol-wait",
+    "poll-detect": "protocol-wait",
+    "cqe": "protocol-wait",
+    "complete": "protocol-wait",
+    "rnr": "protocol-wait",
+    "retry": "protocol-wait",
+    "qp_recovery": "protocol-wait",
+    "rndv-timeout": "protocol-wait",
+}
+
+
+def categorize(tag: Any) -> str:
+    """Map an attribution tag to one of :data:`CATEGORIES`."""
+    if tag is None:
+        return "protocol-wait"
+    if not isinstance(tag, str):
+        return "protocol-wait"
+    cat = _TAG_CATEGORY.get(tag)
+    if cat is not None:
+        return cat
+    # application-level copy tags ("fio-pack", "reduce-sum", "bruck", ...)
+    if tag.endswith(("-pack", "-unpack", "-local", "-copyout")) or tag.startswith(
+        ("reduce-", "bruck")
+    ):
+        return "copy"
+    return "protocol-wait"
+
+
+class Profiler:
+    """Recording sink for causal provenance and utilization sampling.
+
+    Attach by constructing the cluster with ``profile=True`` (which sets
+    ``sim.profiler``).  The engine and the synchronization primitives call
+    back into this object; everything recorded lands either in
+    :attr:`series` (utilization time series for counter tracks) or in the
+    shared metrics registry under a ``profile.`` prefix.
+    """
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+        #: (series name, node) -> [(t_us, value)] — queue depths and
+        #: resource occupancy over simulated time, for counter tracks
+        self.series: dict[tuple, list] = {}
+
+    # -- time-series sampling -------------------------------------------
+
+    def sample(self, name: str, node: Optional[int], t: float, value: float) -> None:
+        """Append one (t, value) point, collapsing same-time updates."""
+        pts = self.series.setdefault((name, node), [])
+        if pts and pts[-1][0] == t:
+            pts[-1] = (t, value)
+        else:
+            pts.append((t, value))
+
+    def sample_resource(self, res) -> None:
+        """Snapshot a Resource's occupancy and queue length (called on
+        every acquire/release)."""
+        name = res.name or "resource"
+        t = res.sim.now
+        self.sample(f"{name}.in_use", res.node, t, float(res.in_use))
+        self.sample(f"{name}.queue", res.node, t, float(res.queue_length))
+        self.metrics.gauge(f"profile.queue.{name}", res.node).set(
+            float(res.queue_length)
+        )
+
+    def sample_store(self, store) -> None:
+        """Snapshot a named Store's depth (called on every put/get)."""
+        t = store.sim.now
+        depth = float(len(store))
+        self.sample(f"{store.name}.depth", store.node, t, depth)
+        self.metrics.gauge(f"profile.depth.{store.name}", store.node).set(depth)
+
+    # -- wait-time histograms -------------------------------------------
+
+    def observe_wait(self, name: str, node: Optional[int], wait_us: float) -> None:
+        """Record one completed wait (resource grant, store get, signal)."""
+        self.metrics.histogram(f"profile.{name}", node).observe(wait_us)
+
+
+# -- critical-path extraction ------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One attributed interval on the critical path."""
+
+    start: float
+    end: float
+    category: str
+    tag: Any
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Attribution:
+    """The critical-path breakdown of one operation.
+
+    ``categories`` maps every entry of :data:`CATEGORIES` to attributed
+    microseconds; together with ``unattributed_us`` they tile
+    ``[start_us, end_us]`` exactly (the walker clips intervals against a
+    monotone cursor), so their sum equals ``total_us``.
+    """
+
+    total_us: float
+    start_us: float
+    end_us: float
+    categories: dict = field(default_factory=dict)
+    steps: list = field(default_factory=list)
+    unattributed_us: float = 0.0
+
+    @property
+    def attributed_us(self) -> float:
+        return sum(self.categories.values())
+
+    def share(self, category: str) -> float:
+        """Fraction of the total attributed to ``category``."""
+        if self.total_us <= 0:
+            return 0.0
+        return self.categories.get(category, 0.0) / self.total_us
+
+    def dominant(self) -> str:
+        """The category with the largest attribution."""
+        return max(self.categories, key=lambda c: self.categories[c])
+
+    def closure_error(self) -> float:
+        """|sum of parts - total| — zero up to float rounding."""
+        return abs(self.attributed_us + self.unattributed_us - self.total_us)
+
+
+def critical_path(done, t0: float = 0.0) -> "Attribution":
+    """Walk the causal chain backward from a completion event.
+
+    ``done`` is any processed event recorded under an active profiler
+    (e.g. ``request.done``); ``t0`` is the operation's start time.
+    Returns an :class:`Attribution` whose category times sum to
+    ``done`` fire time minus ``t0``.
+    """
+    end = done._fire_at
+    if end < 0:
+        raise ValueError(
+            "event carries no provenance — run the cluster with profile=True"
+        )
+    cats = {c: 0.0 for c in CATEGORIES}
+    steps: list[PathStep] = []
+
+    def attribute(lo: float, hi: float, category: str, tag: Any) -> None:
+        if hi > lo:
+            cats[category] += hi - lo
+            steps.append(PathStep(lo, hi, category, tag))
+
+    cursor = end
+    ev = done
+    while ev is not None and cursor > t0:
+        s = ev._sched_at
+        if s < 0:  # scheduled before profiling started (or a root)
+            break
+        e = ev._fire_at
+        tag = ev._ptag
+        lo = max(s, t0)
+        hi = min(e, cursor)
+        if isinstance(tag, tuple):
+            kind = tag[0]
+            if kind == "resource-wait":
+                # the grant fired at ``e``; the wait started at the
+                # recorded request time — the whole span is contention
+                lo = max(tag[1], t0)
+                attribute(lo, hi, "resource-wait", tag[2])
+                cursor = min(cursor, lo)
+            elif kind in ("store-wait", "signal-wait"):
+                # communication dependency: zero-width here, the time
+                # belongs to whatever produced the item (the cause chain)
+                cursor = min(cursor, lo)
+            elif kind == "split":
+                # one timeout covering several phases: leading parts have
+                # fixed durations, the one None part absorbs the rest
+                parts = tag[1]
+                fixed = sum(d for _c, d in parts if d is not None)
+                rem = max(0.0, (e - s) - fixed)
+                t = s
+                bounds = []
+                for cat, dur in parts:
+                    dur = rem if dur is None else dur
+                    bounds.append((max(t, lo), min(t + dur, hi), cat))
+                    t += dur
+                # appended newest-first like the walk itself, so the final
+                # reversal restores forward order within the event too
+                for blo, bhi, cat in reversed(bounds):
+                    attribute(blo, bhi, cat, tag)
+                cursor = min(cursor, lo)
+            else:  # unknown tuple tag: treat as unlabeled
+                attribute(lo, hi, "protocol-wait", tag)
+                cursor = min(cursor, lo)
+        else:
+            attribute(lo, hi, categorize(tag), tag)
+            cursor = min(cursor, lo)
+        ev = ev._cause
+
+    steps.reverse()
+    return Attribution(
+        total_us=end - t0,
+        start_us=t0,
+        end_us=end,
+        categories=cats,
+        steps=steps,
+        unattributed_us=max(0.0, cursor - t0),
+    )
+
+
+def format_bottlenecks(attr: Attribution, title: str = "") -> str:
+    """Render an attribution as a ranked plain-text bottleneck table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'category':<15} {'time_us':>10} {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    ranked = sorted(attr.categories.items(), key=lambda kv: -kv[1])
+    for cat, us in ranked:
+        lines.append(f"{cat:<15} {us:>10.2f} {100.0 * attr.share(cat):>6.1f}%")
+    if attr.unattributed_us > 1e-9:
+        lines.append(
+            f"{'unattributed':<15} {attr.unattributed_us:>10.2f} "
+            f"{100.0 * attr.unattributed_us / max(attr.total_us, 1e-12):>6.1f}%"
+        )
+    lines.append(f"{'total':<15} {attr.total_us:>10.2f} {100.0:>6.1f}%")
+    return "\n".join(lines)
+
+
+# -- profiled transfers ----------------------------------------------------
+
+
+def profile_transfer(
+    scheme: str,
+    dt,
+    *,
+    count: int = 1,
+    scheme_options: Optional[dict] = None,
+):
+    """Run one profiled 2-rank transfer of ``(dt, count)`` under ``scheme``.
+
+    Returns ``(attribution, cluster)``.  The attribution walks the
+    receiver's completion — end-to-end operation latency as MPI sees it.
+    """
+    from repro.ib.costmodel import MB
+    from repro.mpi.world import Cluster
+
+    cluster = Cluster(
+        2,
+        scheme=scheme,
+        scheme_options=scheme_options or {},
+        memory_per_rank=512 * MB,
+        trace=True,
+        profile=True,
+    )
+    span = dt.flatten(count).span + abs(dt.lb) + 64
+    holder: dict = {}
+
+    def rank0(mpi):
+        buf = mpi.alloc(span)
+        yield from mpi.send(buf, dt, count, dest=1, tag=0)
+        return mpi.now
+
+    def rank1(mpi):
+        buf = mpi.alloc(span)
+        req = yield from mpi.recv(buf, dt, count, source=0, tag=0)
+        holder["req"] = req
+        return mpi.now
+
+    cluster.run([rank0, rank1])
+    attr = critical_path(holder["req"].done)
+    return attr, cluster
+
+
+def run_profile(
+    workload: str = "fig09",
+    nbytes: int = 65536,
+    schemes: Optional[Sequence[str]] = None,
+    chrome_out: Optional[str] = None,
+    print_fn=print,
+) -> dict:
+    """CLI driver: profile every scheme, print ranked bottleneck tables
+    plus the cost-model explanation, optionally write annotated traces.
+
+    Returns ``{scheme: (attribution, deltas)}``.
+    """
+    from repro.obs.chrome import counter_track_events, export_chrome_trace
+    from repro.obs.explain import explain, format_explanation
+    from repro.obs.report import workload_for
+
+    if schemes is None:
+        from repro.obs.report import DEFAULT_SCHEMES
+
+        schemes = DEFAULT_SCHEMES
+    results: dict = {}
+    for scheme in schemes:
+        wl = workload_for(workload, nbytes)
+        attr, cluster = profile_transfer(scheme, wl.datatype)
+        deltas = explain(
+            scheme, cluster.cm, wl.datatype.flatten(1), wl.datatype.size, attr
+        )
+        results[scheme] = (attr, deltas)
+        print_fn(
+            format_bottlenecks(
+                attr,
+                title=(
+                    f"critical path: {scheme} / {workload} "
+                    f"({wl.datatype.size} bytes), dominant={attr.dominant()}"
+                ),
+            )
+        )
+        print_fn("")
+        print_fn(format_explanation(deltas))
+        print_fn("")
+        if chrome_out:
+            prefix = chrome_out[:-5] if chrome_out.endswith(".json") else chrome_out
+            export_chrome_trace(
+                cluster.tracer,
+                f"{prefix}.{scheme}.{nbytes}.json",
+                counters=counter_track_events(cluster.profiler.series),
+            )
+    return results

@@ -22,7 +22,14 @@ from typing import Optional, Sequence
 
 from repro.obs.spans import overlap_us
 
-__all__ = ["SchemeBreakdown", "measure_breakdown", "run_report", "workload_for"]
+__all__ = [
+    "SchemeBreakdown",
+    "format_health",
+    "health_counters",
+    "measure_breakdown",
+    "run_report",
+    "workload_for",
+]
 
 #: schemes the report covers by default (the figures' line-up)
 DEFAULT_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
@@ -131,6 +138,41 @@ def measure_breakdown(
     return breakdown, cluster
 
 
+#: counters surfaced in the report's health section (fault injection,
+#: PR "repro.faults"): only shown when at least one fired
+_HEALTH_EXACT = (
+    "rndv.timeouts",
+    "rndv.retransmits",
+    "reg.retries",
+    "scheme.fallbacks",
+)
+
+
+def health_counters(metrics) -> dict:
+    """Nonzero fault/retry counters: {name: cluster-wide total}.
+
+    Empty in fault-free runs (the counters are never created), so the
+    report's health section only appears under an active fault profile
+    (e.g. ``REPRO_FAULT_PROFILE=lossy``).
+    """
+    totals: dict = {}
+    for name in metrics.names():
+        if name.startswith(("faults.", "qp.")) or name in _HEALTH_EXACT:
+            value = metrics.value(name)
+            if value:
+                totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+def format_health(totals: dict) -> str:
+    """Render accumulated health counters as an aligned table."""
+    header = f"{'fault/retry counter':<24} {'total':>10}"
+    lines = ["health (fault injection active)", header, "-" * len(header)]
+    for name in sorted(totals):
+        lines.append(f"{name:<24} {totals[name]:>10g}")
+    return "\n".join(lines)
+
+
 def format_table(rows: Sequence[SchemeBreakdown]) -> str:
     """Render breakdown rows as an aligned plain-text table."""
     header = (
@@ -165,6 +207,7 @@ def run_report(
 
     rows: list[SchemeBreakdown] = []
     last_cluster = None
+    health: dict = {}
     for nbytes in sizes:
         wl = workload_for(workload, nbytes)
         size_rows = []
@@ -172,6 +215,8 @@ def run_report(
             breakdown, cluster = measure_breakdown(scheme, wl.datatype)
             size_rows.append(breakdown)
             last_cluster = cluster
+            for name, value in health_counters(cluster.metrics).items():
+                health[name] = health.get(name, 0.0) + value
             if chrome_out:
                 prefix = chrome_out[:-5] if chrome_out.endswith(".json") else chrome_out
                 export_chrome_trace(
@@ -181,6 +226,9 @@ def run_report(
         print_fn(format_table(size_rows))
         print_fn("")
         rows.extend(size_rows)
+    if health:
+        print_fn(format_health(health))
+        print_fn("")
     if metrics_out and last_cluster is not None:
         last_cluster.metrics.to_csv(metrics_out)
     return rows

@@ -42,6 +42,28 @@ class BCSPUPScheme(DatatypeScheme):
         super().__init__(ctx)
         self.segment_size = segment_size
 
+    @classmethod
+    def predict_profile(cls, cm, flat, nbytes):
+        """Segmented pack/wire/unpack pipeline: the slowest stage repeats
+        per segment; one traversal of each other stage frames it."""
+        import math
+
+        from repro.schemes.base import predicted_handshake, predicted_pipeline
+
+        p = predicted_handshake(cm)
+        segsize = cm.segment_size_for(nbytes)
+        nseg = max(1, math.ceil(nbytes / segsize))
+        seg = min(segsize, max(nbytes, 1))
+        bseg = max(1, math.ceil(max(1, flat.nblocks) / nseg))
+        pack = cm.pack_time(seg, bseg)
+        p["copy"] += 2 * pack  # first pack + last unpack
+        p["wire"] += cm.wire_time(seg) + cm.wire_latency
+        p["descriptor"] += nseg * cm.post_descriptor + cm.hca_startup
+        predicted_pipeline(
+            p, nseg, {"copy": pack, "wire": cm.descriptor_time(seg)}
+        )
+        return p
+
     def sender(self, ctx, req):
         node = ctx.node
         cur = req.cursor

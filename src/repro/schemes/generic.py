@@ -88,6 +88,20 @@ class GenericScheme(DatatypeScheme):
         self._pack_stage = _StagePool()
         self._unpack_stage = _StagePool()
 
+    @classmethod
+    def predict_profile(cls, cm, flat, nbytes):
+        """Fully serialized: whole-message pack, one write, whole unpack
+        (warm staging buffers — the Figure 2 "Datatype" case)."""
+        from repro.schemes.base import predicted_handshake
+
+        p = predicted_handshake(cm)
+        b = max(1, flat.nblocks)
+        p["copy"] += 2 * cm.pack_time(nbytes, b)  # pack + unpack, no overlap
+        p["wire"] += cm.wire_time(nbytes) + cm.wire_latency
+        p["descriptor"] += cm.post_descriptor + cm.hca_startup
+        p["registration"] += 2 * cm.malloc_base  # warm stage acquire per side
+        return p
+
     # -- sender -----------------------------------------------------------
 
     def sender(self, ctx, req):

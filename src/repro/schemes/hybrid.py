@@ -64,6 +64,47 @@ class HybridScheme(DatatypeScheme):
         self.split_threshold = split_threshold
         self.list_post = list_post
 
+    @classmethod
+    def predict_profile(cls, cm, flat, nbytes):
+        """Per-piece best path: big pieces take the Multi-W zero-copy
+        treatment, small ones the BC-SPUP packed-segment treatment."""
+        import math
+
+        from repro.schemes.base import predicted_handshake, predicted_pipeline
+
+        p = predicted_handshake(cm)
+        threshold = 4096  # default split_threshold
+        direct = [ln for _off, ln in flat.blocks() if ln >= threshold]
+        packed = [ln for _off, ln in flat.blocks() if ln < threshold]
+        direct_bytes = sum(direct)
+        packed_bytes = sum(packed)
+        p["descriptor"] += cm.dt_startup + flat.nblocks * cm.dt_per_block
+        if direct:
+            p["descriptor"] += cm.post_time(len(direct), list_post=True) + len(
+                direct
+            ) * cm.hca_startup
+            p["wire"] += cm.wire_time(direct_bytes)
+        if packed:
+            segsize = cm.segment_size_for(max(packed_bytes, 1))
+            nseg = max(1, math.ceil(packed_bytes / segsize))
+            seg = min(segsize, max(packed_bytes, 1))
+            bseg = max(1, math.ceil(len(packed) / nseg))
+            pack = cm.pack_time(seg, bseg)
+            p["copy"] += 2 * pack
+            p["wire"] += cm.wire_time(seg)
+            p["descriptor"] += nseg * cm.post_descriptor + cm.hca_startup
+            predicted_pipeline(
+                p, nseg, {"copy": pack, "wire": cm.descriptor_time(seg)}
+            )
+        # fin marker closes the message; both sides register user buffers
+        # (sender only the direct blocks, receiver the whole layout)
+        p["descriptor"] += cm.post_descriptor + cm.hca_startup
+        p["wire"] += cm.wire_latency
+        p["registration"] += cm.reg_time(flat.span) + (
+            cm.reg_time(direct_bytes) if direct else 0.0
+        )
+        return p
+
     # -- sender -----------------------------------------------------------
 
     def sender(self, ctx, req):

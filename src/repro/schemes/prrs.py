@@ -33,6 +33,38 @@ class PRRSScheme(DatatypeScheme):
     name = "p-rrs"
     OPTIONS = ()
 
+    @classmethod
+    def predict_profile(cls, cm, flat, nbytes):
+        """Sender packs segments; receiver RDMA-read-scatters each one
+        straight into user memory (no unpack copy), paying the slower
+        read path and a control message per segment."""
+        import math
+
+        from repro.ib.verbs import MAX_SGE
+        from repro.schemes.base import predicted_handshake, predicted_pipeline
+
+        p = predicted_handshake(cm)
+        segsize = cm.segment_size_for(nbytes)
+        nseg = max(1, math.ceil(nbytes / segsize))
+        seg = min(segsize, max(nbytes, 1))
+        bseg = max(1, math.ceil(max(1, flat.nblocks) / nseg))
+        nchunks = max(1, math.ceil(bseg / MAX_SGE))
+        pack = cm.pack_time(seg, bseg)
+        read = seg / cm.rdma_read_bandwidth + cm.rdma_read_extra
+        p["copy"] += pack
+        p["wire"] += read + cm.wire_latency
+        p["descriptor"] += (
+            cm.dt_startup
+            + bseg * cm.dt_per_block
+            + cm.post_time(nchunks)
+            + nchunks * cm.hca_startup
+        )
+        p["registration"] += cm.reg_time(flat.span)  # receiver user buffer
+        # the per-segment SegReady control round trip is protocol machinery
+        p["protocol-wait"] += nseg * (cm.control_overhead + cm.poll_cq)
+        predicted_pipeline(p, nseg, {"copy": pack, "wire": read})
+        return p
+
     def sender(self, ctx, req):
         node = ctx.node
         cur = req.cursor

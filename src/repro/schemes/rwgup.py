@@ -37,6 +37,38 @@ class RWGUPScheme(DatatypeScheme):
         self.segment_unpack = segment_unpack
         self.registration_mode = registration_mode
 
+    @classmethod
+    def predict_profile(cls, cm, flat, nbytes):
+        """No sender copy: per segment, datatype processing + gather posts
+        feed the HCA; the receiver unpacks each segment on arrival."""
+        import math
+
+        from repro.schemes.base import predicted_handshake, predicted_pipeline
+
+        p = predicted_handshake(cm)
+        segsize = cm.segment_size_for(nbytes)
+        nseg = max(1, math.ceil(nbytes / segsize))
+        seg = min(segsize, max(nbytes, 1))
+        bseg = max(1, math.ceil(max(1, flat.nblocks) / nseg))
+        nchunks = max(1, math.ceil(bseg / MAX_SGE))
+        # sender CPU per segment: build the gather list, post the chain
+        desc_cpu = cm.dt_startup + bseg * cm.dt_per_block + cm.post_time(nchunks)
+        # HCA per segment: per-descriptor startup, per-SGE gather, payload
+        hca = (
+            nchunks * cm.hca_startup
+            + max(0, bseg - nchunks) * cm.hca_per_sge
+            + cm.wire_time(seg)
+        )
+        unpack = cm.pack_time(seg, bseg)
+        p["descriptor"] += desc_cpu
+        p["copy"] += unpack  # last segment's unpack closes the operation
+        p["wire"] += cm.wire_time(seg) + cm.wire_latency
+        p["registration"] += cm.reg_time(flat.span)  # OGR over the user buffer
+        predicted_pipeline(
+            p, nseg, {"descriptor": desc_cpu, "wire": hca, "copy": unpack}
+        )
+        return p
+
     def sender(self, ctx, req):
         node = ctx.node
         cur = req.cursor

@@ -16,6 +16,18 @@ Determinism: the heap is keyed by ``(time, seq)`` where ``seq`` is a global
 monotonically increasing counter, so same-time events fire in the order they
 were scheduled.  Nothing in the engine consults wall-clock time or a global
 RNG.
+
+Causal provenance (the critical-path profiler, ``repro.obs.profile``):
+when :attr:`Simulator.profiler` is set, every scheduled event records the
+event being processed at scheduling time (``_cause``), its scheduling time
+(``_sched_at``), its due time (``_fire_at``), and an optional attribution
+tag (``_ptag``).  Because every trigger happens while some event is being
+processed, ``_sched_at`` of an event equals the fire time of its cause, so
+the backward ``_cause`` chain from any completion partitions the run into
+time-contiguous intervals — the invariant the profiler's attribution sum
+rests on.  With ``profiler`` left ``None`` (the default) nothing is
+recorded and scheduling order is untouched, keeping unprofiled runs
+byte-identical.
 """
 
 from __future__ import annotations
@@ -68,6 +80,10 @@ class Event:
         "triggered",
         "processed",
         "cancelled",
+        "_cause",
+        "_ptag",
+        "_sched_at",
+        "_fire_at",
     )
 
     def __init__(self, sim: "Simulator"):
@@ -79,15 +95,28 @@ class Event:
         self.triggered = False
         self.processed = False
         self.cancelled = False
+        #: provenance (populated only while ``sim.profiler`` is set):
+        #: the event being processed when this one was scheduled, the
+        #: scheduling/fire times, and an attribution tag for the
+        #: critical-path profiler (see repro.obs.profile)
+        self._cause: Optional["Event"] = None
+        self._ptag: Any = None
+        self._sched_at: float = -1.0
+        self._fire_at: float = -1.0
 
     # -- triggering -----------------------------------------------------
 
-    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Trigger the event successfully with ``value`` after ``delay``."""
+    def succeed(self, value: Any = None, delay: float = 0.0, tag: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``.
+
+        ``tag`` labels the delay for critical-path attribution (ignored —
+        but harmless — when no profiler is attached)."""
         if self.triggered:
             raise SimulationError(f"{self!r} already triggered")
         self.triggered = True
         self._value = value
+        if tag is not None:
+            self._ptag = tag
         self.sim._schedule(self, delay)
         return self
 
@@ -334,6 +363,13 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._failures: list[tuple[Process, BaseException]] = []
+        #: a :class:`repro.obs.profile.Profiler` (or None).  While set,
+        #: scheduled events record causal provenance; the default None
+        #: keeps the hot path free of any recording.
+        self.profiler: Optional[Any] = None
+        #: the event currently being processed by :meth:`step` — the
+        #: cause of anything scheduled during its callbacks
+        self._current_event: Optional[Event] = None
 
     # -- factory helpers --------------------------------------------------
 
@@ -341,9 +377,14 @@ class Simulator:
         """Create an untriggered one-shot event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers after ``delay`` microseconds."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None, tag: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` microseconds.
+
+        ``tag`` labels the delay for critical-path attribution."""
+        t = Timeout(self, delay, value)
+        if tag is not None:
+            t._ptag = tag
+        return t
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from a generator."""
@@ -360,6 +401,10 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if self.profiler is not None:
+            event._cause = self._current_event
+            event._sched_at = self.now
+            event._fire_at = self.now + delay
 
     def _register_failure(self, proc: Process, exc: BaseException) -> None:
         self._failures.append((proc, exc))
@@ -374,6 +419,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError("time went backwards")  # pragma: no cover
         self.now = time
+        self._current_event = event
         had_waiters = bool(event.callbacks)
         event._process()
         # A process that died with nobody waiting aborts the simulation;

@@ -9,6 +9,14 @@
 * :class:`Signal` — a level-triggered broadcast: waiters block until
   :meth:`Signal.set` fires, after which waits complete immediately until
   :meth:`Signal.clear`.
+
+When the owning simulator carries a profiler (``sim.profiler``), all
+three primitives record grant/put provenance for the critical-path
+walker — a queued :class:`Resource` grant is tagged with its request
+time so the wait re-labels as ``resource-wait``; :class:`Store` and
+:class:`Signal` waits keep their upstream cause (they are communication
+dependencies, not contention) — plus wait-time histograms and
+queue-depth samples.  Without a profiler nothing is recorded.
 """
 
 from __future__ import annotations
@@ -36,12 +44,19 @@ class Resource:
                 cpu.release(grant)
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 1,
+        name: str = "",
+        node: Optional[int] = None,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self.node = node
         self._in_use = 0
         self._waiters: deque[Event] = deque()
         #: total microseconds of grant-held time, for utilization stats
@@ -65,7 +80,14 @@ class Resource:
             self._in_use += 1
             ev.succeed(self._new_grant())
         else:
+            if self.sim.profiler is not None:
+                # re-labels the wait as resource contention on the
+                # critical path (see repro.obs.profile)
+                ev._ptag = ("resource-wait", self.sim.now, self.name)
             self._waiters.append(ev)
+        prof = self.sim.profiler
+        if prof is not None:
+            prof.sample_resource(self)
         return ev
 
     def release(self, grant: int) -> None:
@@ -75,10 +97,18 @@ class Resource:
         if start is None:
             raise SimulationError(f"release of unknown grant {grant!r} on {self.name}")
         self.busy_time += self.sim.now - start
+        prof = self.sim.profiler
         if self._waiters:
-            self._waiters.popleft().succeed(self._new_grant())
+            waiter = self._waiters.popleft()
+            if prof is not None and waiter._ptag is not None:
+                prof.observe_wait(
+                    "resource.wait_us", self.node, self.sim.now - waiter._ptag[1]
+                )
+            waiter.succeed(self._new_grant())
         else:
             self._in_use -= 1
+        if prof is not None:
+            prof.sample_resource(self)
 
     def _new_grant(self) -> int:
         self._grant_seq += 1
@@ -100,9 +130,10 @@ class Store:
     in FIFO order to getters in FIFO order.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "", node: Optional[int] = None):
         self.sim = sim
         self.name = name
+        self.node = node
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
         #: total items ever put (statistics)
@@ -114,15 +145,31 @@ class Store:
     def put(self, item: Any) -> None:
         self.total_put += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            getter = self._getters.popleft()
+            prof = self.sim.profiler
+            if prof is not None and getter._ptag is not None:
+                prof.observe_wait(
+                    "store.wait_us", self.node, self.sim.now - getter._ptag[1]
+                )
+            getter.succeed(item)
         else:
             self._items.append(item)
+            prof = self.sim.profiler
+            if prof is not None and self.name:
+                prof.sample_store(self)
 
     def get(self) -> Event:
         ev = Event(self.sim)
         if self._items:
             ev.succeed(self._items.popleft())
+            prof = self.sim.profiler
+            if prof is not None and self.name:
+                prof.sample_store(self)
         else:
+            if self.sim.profiler is not None:
+                # a marker, not an attribution override: the walker keeps
+                # following the putter's cause chain through store waits
+                ev._ptag = ("store-wait", self.sim.now, self.name)
             self._getters.append(ev)
         return ev
 
@@ -156,9 +203,10 @@ class Signal:
     them all (with ``value``) and subsequent waits complete immediately.
     """
 
-    def __init__(self, sim: Simulator, name: str = ""):
+    def __init__(self, sim: Simulator, name: str = "", node: Optional[int] = None):
         self.sim = sim
         self.name = name
+        self.node = node
         self._set = False
         self._value: Any = None
         self._waiters: list[Event] = []
@@ -173,7 +221,12 @@ class Signal:
         self._set = True
         self._value = value
         waiters, self._waiters = self._waiters, []
+        prof = self.sim.profiler
         for ev in waiters:
+            if prof is not None and ev._ptag is not None:
+                prof.observe_wait(
+                    "signal.wait_us", self.node, self.sim.now - ev._ptag[1]
+                )
             ev.succeed(value)
 
     def clear(self) -> None:
@@ -185,5 +238,7 @@ class Signal:
         if self._set:
             ev.succeed(self._value)
         else:
+            if self.sim.profiler is not None:
+                ev._ptag = ("signal-wait", self.sim.now, self.name)
             self._waiters.append(ev)
         return ev

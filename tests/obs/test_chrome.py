@@ -65,3 +65,38 @@ class TestChromeExport:
     def test_empty_tracer(self):
         doc = json.loads(export_chrome_trace(Tracer(enabled=True)))
         assert doc["traceEvents"] == []
+
+
+class TestCounterTracks:
+    def _series(self):
+        return {
+            ("sq.depth", 0): [(0.0, 1.0), (2.5, 3.0), (4.0, 0.0)],
+            ("cpu.queue", None): [(1.0, 2.0)],
+        }
+
+    def test_counter_events_shape(self):
+        from repro.obs.chrome import counter_track_events
+
+        events = counter_track_events(self._series())
+        assert all(e["ph"] == "C" for e in events)
+        depth = [e for e in events if e["name"] == "sq.depth"]
+        assert [(e["ts"], e["args"]["value"]) for e in depth] == [
+            (0.0, 1.0), (2.5, 3.0), (4.0, 0.0),
+        ]
+        assert all(e["pid"] == 0 for e in depth)
+        # cluster-wide series render under the synthetic pid -1
+        assert [e["pid"] for e in events if e["name"] == "cpu.queue"] == [-1]
+
+    def test_export_appends_counters(self):
+        from repro.obs.chrome import counter_track_events
+
+        counters = counter_track_events(self._series())
+        text = export_chrome_trace(make_tracer(), counters=counters)
+        events = json.loads(text)["traceEvents"]
+        assert sum(1 for e in events if e["ph"] == "C") == len(counters)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_export_without_counters_unchanged(self):
+        assert export_chrome_trace(make_tracer()) == export_chrome_trace(
+            make_tracer(), counters=None
+        )

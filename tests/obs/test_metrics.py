@@ -113,3 +113,67 @@ class TestRegistry:
         assert rows[0] == ["type", "name", "node", "value", "extra"]
         assert rows[1] == ["counter", "c", "0", "2.0", ""]
         assert rows[2] == ["gauge", "g", "", "1", "max=1"]
+
+
+class TestPercentiles:
+    def test_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(5.0)  # all in the first bucket [0, 10]
+        # rank p/100*10 observations, linearly spread over [0, 10]
+        assert h.percentile(50) == pytest.approx(5.0)
+        assert h.percentile(100) == pytest.approx(10.0)
+
+    def test_crosses_buckets(self):
+        h = Histogram("lat", buckets=(10.0, 20.0, 40.0))
+        for _ in range(5):
+            h.observe(5.0)
+        for _ in range(5):
+            h.observe(15.0)
+        assert h.percentile(50) == pytest.approx(10.0)
+        assert h.percentile(75) == pytest.approx(15.0)
+        assert h.percentile(25) == pytest.approx(5.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.percentile(99) == 2.0
+
+    def test_empty_and_bounds(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.percentile(99) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_monotone_in_p(self):
+        h = Histogram("lat", buckets=DEFAULT_US_BUCKETS)
+        for v in (0.5, 3.0, 8.0, 40.0, 900.0, 12000.0):
+            h.observe(v)
+        ps = [h.percentile(p) for p in (0, 25, 50, 75, 95, 99, 100)]
+        assert ps == sorted(ps)
+
+    def test_snapshot_and_render_carry_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for _ in range(100):
+            h.observe(4.0)
+        row = [r for r in reg.snapshot() if r["type"] == "histogram"][0]
+        assert row["p50"] == pytest.approx(h.percentile(50))
+        assert row["p95"] == pytest.approx(h.percentile(95))
+        assert row["p99"] == pytest.approx(h.percentile(99))
+        text = reg.render_text()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+    def test_csv_extra_carries_percentiles(self, tmp_path):
+        import csv
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(4.0)
+        path = str(tmp_path / "metrics.csv")
+        reg.to_csv(path)
+        rows = list(csv.reader(open(path)))
+        extra = rows[1][4]
+        assert "count=1" in extra
+        assert "p50=" in extra and "p95=" in extra and "p99=" in extra

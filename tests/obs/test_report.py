@@ -141,3 +141,39 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestHealthSection:
+    def test_health_counters_filters_fault_names(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.report import format_health, health_counters
+
+        m = MetricsRegistry()
+        m.counter("faults.injected", node=0).inc(3)
+        m.counter("qp.recoveries", node=1).inc(1)
+        m.counter("rndv.timeouts").inc(2)
+        m.counter("ib.descriptors").inc(99)  # not a health counter
+        totals = health_counters(m)
+        assert totals == {
+            "faults.injected": 3,
+            "qp.recoveries": 1,
+            "rndv.timeouts": 2,
+        }
+        table = format_health(totals)
+        assert "health (fault injection active)" in table
+        assert "faults.injected" in table and "99" not in table
+
+    def test_fault_free_run_has_no_health_section(self, capsys):
+        run_report(workload="fig09", sizes=[4096], schemes=["bc-spup"])
+        out = capsys.readouterr().out
+        assert "health" not in out
+
+    def test_lossy_profile_prints_health(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PROFILE", "lossy")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "1")  # injects on this workload
+        run_report(
+            workload="fig09", sizes=[262144], schemes=["bc-spup", "rwg-up"]
+        )
+        out = capsys.readouterr().out
+        assert "health (fault injection active)" in out
+        assert "faults." in out
