@@ -4,10 +4,15 @@ Usage::
 
     python -m repro.bench fig08 fig09          # specific figures
     python -m repro.bench all                  # everything (several minutes)
+    python -m repro.bench all -j 0             # ... fanned out over all cores
     python -m repro.bench fig08 --cols 64 2048 # restricted sweep
     python -m repro.bench overlap              # Figure-3 overlap analysis
+    python -m repro.bench selftest             # events/sec + wall-clock report
 
-Tables print to stdout; CSVs land in ``results/``.
+Tables print to stdout; CSVs land in ``results/``.  Figure sweeps run
+through the parallel executor (``-j``/``$REPRO_BENCH_JOBS`` workers) and
+the content-addressed result cache under ``.repro-cache/`` — pass
+``--fresh`` to ignore cached cells.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import ablations, figures
+from repro.bench import ablations, figures, parallel
 from repro.bench.overlap import measure_overlap
 from repro.bench.workloads import column_vector
 
@@ -61,8 +66,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "targets",
         nargs="+",
-        choices=sorted(FIGURES) + sorted(ABLATIONS) + ["all", "ablations", "overlap"],
-        help="figures or ablations to regenerate",
+        choices=sorted(FIGURES)
+        + sorted(ABLATIONS)
+        + ["all", "ablations", "overlap", "selftest"],
+        help="figures, ablations, or 'selftest' (performance microbenchmark)",
     )
     parser.add_argument(
         "--cols",
@@ -71,7 +78,24 @@ def main(argv=None) -> int:
         default=None,
         help="restrict the column sweep (figures 2, 8, 9, 12, 13, 14)",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for figure sweeps (0 = all cores; default "
+        "$REPRO_BENCH_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the .repro-cache result cache and re-measure every cell",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        parallel.set_jobs(args.jobs)
+    if args.fresh:
+        parallel.set_cache_enabled(False)
     targets = list(args.targets)
     if "all" in targets:
         targets = sorted(FIGURES) + sorted(ABLATIONS) + ["overlap"]
@@ -80,6 +104,11 @@ def main(argv=None) -> int:
     for target in targets:
         if target == "overlap":
             _run_overlap()
+            continue
+        if target == "selftest":
+            from repro.bench.selftest import format_selftest, run_selftest
+
+            print(format_selftest(run_selftest(jobs=args.jobs)))
             continue
         if target in ABLATIONS:
             ABLATIONS[target]()

@@ -4,13 +4,21 @@ Each function runs the figure's full parameter sweep, prints the table,
 writes ``results/figNN.csv``, and returns ``(x_values, {name: Series})``
 so benchmark assertions can check the reproduced shape.  Figures 1, 3-7
 and 10 in the paper are diagrams and have no data to regenerate.
+
+Every sweep is a grid of independent cells evaluated through
+:mod:`repro.bench.parallel`: the per-cell measurement functions below
+(``CELL_EVALUATORS``) are module-level and picklable, so the executor
+can fan them out over worker processes, and results are merged back in
+canonical (series x column) order — output is byte-identical whether the
+sweep ran serially, on N workers, or straight from the result cache.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Optional, Sequence
+from typing import Optional
 
+from repro.bench.parallel import Cell, run_cells
 from repro.bench.report import Series, print_table, write_csv
 from repro.bench.runner import (
     measure_alltoall,
@@ -37,29 +45,117 @@ def _cached(fn):
     return functools.lru_cache(maxsize=None)(fn)
 
 
+_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
+_LABEL = {
+    "generic": "Generic",
+    "bc-spup": "BC-SPUP",
+    "rwg-up": "RWG-UP",
+    "multi-w": "Multi-W",
+}
+
+
+# ----------------------------------------------------------------------
+# per-cell measurement functions (module-level: picklable for workers)
+# ----------------------------------------------------------------------
+
+def _eval_fig02(series: str, x: int, extra: dict) -> float:
+    w = column_vector(x)
+    if series == "Contig":
+        return measure_contig_pingpong(w.nbytes, scheme="generic")
+    if series == "Datatype":
+        return measure_pingpong("generic", w.datatype)
+    if series == "DT+reg":
+        return measure_pingpong(
+            "generic", w.datatype, scheme_options={"fresh_buffers": True}
+        )
+    if series == "Manual":
+        return measure_manual_pingpong(w.datatype)
+    if series == "Multiple":
+        return measure_multiple_pingpong(w.datatype)
+    raise KeyError(f"fig02: unknown series {series!r}")
+
+
+def _eval_fig08(series: str, x: int, extra: dict) -> float:
+    return measure_pingpong(series, column_vector(x).datatype)
+
+
+def _eval_fig09(series: str, x: int, extra: dict) -> float:
+    return measure_bandwidth(series, column_vector(x).datatype)
+
+
+def _eval_fig11(series: str, x: int, extra: dict) -> float:
+    return measure_alltoall(
+        series, fig10_struct(x).datatype, nranks=extra.get("nranks", 8)
+    )
+
+
+def _eval_fig12(series: str, x: int, extra: dict) -> float:
+    return measure_bandwidth(
+        "rwg-up",
+        column_vector(x).datatype,
+        scheme_options={"segment_unpack": series == "seg-unpack"},
+    )
+
+
+def _eval_fig13(series: str, x: int, extra: dict) -> float:
+    return measure_bandwidth(
+        "multi-w",
+        column_vector(x).datatype,
+        scheme_options={"list_post": series == "list"},
+    )
+
+
+def _eval_fig14(series: str, x: int, extra: dict) -> float:
+    opts = {"fresh_buffers": True} if series == "generic" else None
+    return measure_pingpong(
+        series,
+        column_vector(x).datatype,
+        cluster_kwargs=WORST_CASE,
+        scheme_options=opts,
+    )
+
+
+#: figure name -> cell measurement function, the worker-side dispatch
+#: table of :func:`repro.bench.parallel.evaluate_cell`
+CELL_EVALUATORS = {
+    "fig02": _eval_fig02,
+    "fig08": _eval_fig08,
+    "fig09": _eval_fig09,
+    "fig11": _eval_fig11,
+    "fig12": _eval_fig12,
+    "fig13": _eval_fig13,
+    "fig14": _eval_fig14,
+}
+
+
+def cell_workload_spec(figure: str, x: int) -> str:
+    """Human-readable workload identity of a cell — part of its cache key."""
+    if figure == "fig11":
+        return fig10_struct(x).name
+    return column_vector(x).name
+
+
+def _sweep(figure: str, series_keys, xs, extra: tuple = ()) -> dict:
+    """Evaluate the full grid; returns ``{series: [y per x]}`` in order."""
+    cells = [Cell(figure, s, x, extra) for x in xs for s in series_keys]
+    results = run_cells(cells)
+    return {
+        s: [results[Cell(figure, s, x, extra)] for x in xs] for s in series_keys
+    }
+
+
+# ----------------------------------------------------------------------
+# figures
+# ----------------------------------------------------------------------
+
 @_cached
 def fig02(columns: Optional[tuple] = None):
     """Figure 2: the motivating example — Datatype vs Manual vs Multiple
     vs DT+reg vs Contig ping-pong latency."""
     cols = list(columns or COLUMNS)
-    out = {
-        "Contig": Series("Contig"),
-        "Datatype": Series("Datatype"),
-        "DT+reg": Series("DT+reg"),
-        "Manual": Series("Manual"),
-        "Multiple": Series("Multiple"),
-    }
-    for c in cols:
-        w = column_vector(c)
-        out["Contig"].y.append(measure_contig_pingpong(w.nbytes, scheme="generic"))
-        out["Datatype"].y.append(measure_pingpong("generic", w.datatype))
-        out["DT+reg"].y.append(
-            measure_pingpong(
-                "generic", w.datatype, scheme_options={"fresh_buffers": True}
-            )
-        )
-        out["Manual"].y.append(measure_manual_pingpong(w.datatype))
-        out["Multiple"].y.append(measure_multiple_pingpong(w.datatype))
+    names = ("Contig", "Datatype", "DT+reg", "Manual", "Multiple")
+    ys = _sweep("fig02", names, cols)
+    out = {n: Series(n, ys[n]) for n in names}
     series = list(out.values())
     print_table(
         "Figure 2: vector datatype transfer latency (us), 128x[cols] of a "
@@ -70,24 +166,12 @@ def fig02(columns: Optional[tuple] = None):
     return cols, out
 
 
-_SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
-_LABEL = {
-    "generic": "Generic",
-    "bc-spup": "BC-SPUP",
-    "rwg-up": "RWG-UP",
-    "multi-w": "Multi-W",
-}
-
-
 @_cached
 def fig08(columns: Optional[tuple] = None):
     """Figure 8: ping-pong latency of the four schemes."""
     cols = list(columns or COLUMNS)
-    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
-    for c in cols:
-        w = column_vector(c)
-        for s in _SCHEMES:
-            out[s].y.append(measure_pingpong(s, w.datatype))
+    ys = _sweep("fig08", _SCHEMES, cols)
+    out = {s: Series(_LABEL[s], ys[s]) for s in _SCHEMES}
     series = [out[s] for s in _SCHEMES]
     print_table(
         "Figure 8: datatype ping-pong latency (us)",
@@ -101,11 +185,8 @@ def fig08(columns: Optional[tuple] = None):
 def fig09(columns: Optional[tuple] = None):
     """Figure 9: streaming bandwidth (100-message window) in MB/s."""
     cols = list(columns or COLUMNS)
-    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
-    for c in cols:
-        w = column_vector(c)
-        for s in _SCHEMES:
-            out[s].y.append(measure_bandwidth(s, w.datatype))
+    ys = _sweep("fig09", _SCHEMES, cols)
+    out = {s: Series(_LABEL[s], ys[s]) for s in _SCHEMES}
     series = [out[s] for s in _SCHEMES]
     print_table(
         "Figure 9: datatype streaming bandwidth (MB/s)",
@@ -120,11 +201,8 @@ def fig11(last_blocks: Optional[tuple] = None, nranks: int = 8):
     """Figure 11: MPI_Alltoall with the Figure 10 struct datatype on 8
     processes."""
     xs = list(last_blocks or LAST_BLOCKS)
-    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
-    for last in xs:
-        w = fig10_struct(last)
-        for s in _SCHEMES:
-            out[s].y.append(measure_alltoall(s, w.datatype, nranks=nranks))
+    ys = _sweep("fig11", _SCHEMES, xs, extra=(("nranks", nranks),))
+    out = {s: Series(_LABEL[s], ys[s]) for s in _SCHEMES}
     series = [out[s] for s in _SCHEMES]
     print_table(
         f"Figure 11: MPI_Alltoall time (us), {nranks} processes, struct "
@@ -139,22 +217,12 @@ def fig11(last_blocks: Optional[tuple] = None, nranks: int = 8):
 def fig12(columns: Optional[tuple] = None):
     """Figure 12: effect of segment unpack on RWG-UP bandwidth."""
     cols = list(columns or tuple(c for c in COLUMNS if c >= 16))
-    out = {
-        "seg-unpack": Series("RWG-UP w/ segment unpack"),
-        "whole-unpack": Series("RWG-UP w/o segment unpack"),
+    labels = {
+        "seg-unpack": "RWG-UP w/ segment unpack",
+        "whole-unpack": "RWG-UP w/o segment unpack",
     }
-    for c in cols:
-        w = column_vector(c)
-        out["seg-unpack"].y.append(
-            measure_bandwidth(
-                "rwg-up", w.datatype, scheme_options={"segment_unpack": True}
-            )
-        )
-        out["whole-unpack"].y.append(
-            measure_bandwidth(
-                "rwg-up", w.datatype, scheme_options={"segment_unpack": False}
-            )
-        )
+    ys = _sweep("fig12", tuple(labels), cols)
+    out = {k: Series(labels[k], ys[k]) for k in labels}
     series = list(out.values())
     print_table(
         "Figure 12: RWG-UP bandwidth (MB/s), segment unpack vs whole-message "
@@ -169,22 +237,12 @@ def fig12(columns: Optional[tuple] = None):
 def fig13(columns: Optional[tuple] = None):
     """Figure 13: effect of list descriptor post on Multi-W bandwidth."""
     cols = list(columns or tuple(c for c in COLUMNS if c >= 4))
-    out = {
-        "list": Series("Multi-W list post"),
-        "single": Series("Multi-W single post"),
+    labels = {
+        "list": "Multi-W list post",
+        "single": "Multi-W single post",
     }
-    for c in cols:
-        w = column_vector(c)
-        out["list"].y.append(
-            measure_bandwidth(
-                "multi-w", w.datatype, scheme_options={"list_post": True}
-            )
-        )
-        out["single"].y.append(
-            measure_bandwidth(
-                "multi-w", w.datatype, scheme_options={"list_post": False}
-            )
-        )
+    ys = _sweep("fig13", tuple(labels), cols)
+    out = {k: Series(labels[k], ys[k]) for k in labels}
     series = list(out.values())
     print_table(
         "Figure 13: Multi-W bandwidth (MB/s), list descriptor post vs "
@@ -201,16 +259,8 @@ def fig14(columns: Optional[tuple] = None):
     registers and deregisters on the fly (no pin-down cache, no
     pre-registered pools)."""
     cols = list(columns or COLUMNS)
-    out = {s: Series(_LABEL[s]) for s in _SCHEMES}
-    for c in cols:
-        w = column_vector(c)
-        for s in _SCHEMES:
-            opts = {"fresh_buffers": True} if s == "generic" else None
-            out[s].y.append(
-                measure_pingpong(
-                    s, w.datatype, cluster_kwargs=WORST_CASE, scheme_options=opts
-                )
-            )
+    ys = _sweep("fig14", _SCHEMES, cols)
+    out = {s: Series(_LABEL[s], ys[s]) for s in _SCHEMES}
     series = [out[s] for s in _SCHEMES]
     print_table(
         "Figure 14: ping-pong latency (us) in the worst case of buffer usage "

@@ -26,10 +26,9 @@ import os
 import sys
 from pathlib import Path
 
-from repro.bench.runner import measure_bandwidth, measure_pingpong
-from repro.bench.workloads import column_vector
+from repro.bench.parallel import Cell, run_cells
 
-__all__ = ["collect", "compare", "main", "write_profile_artifacts"]
+__all__ = ["collect", "compare", "load_baseline", "main", "write_profile_artifacts"]
 
 #: schemes gated in CI (the paper's four implemented schemes)
 SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w")
@@ -43,29 +42,77 @@ DEFAULT_BASELINE = Path("benchmarks/baseline.json")
 PROFILE_WORKLOAD = ("fig09", 65536)
 
 
-def collect() -> dict:
+def collect(jobs: int | None = None) -> dict:
     """Measure every gated metric; returns the report dict.
 
     Keys are ``fig08/<scheme>/cols=<n>`` (one-way latency, us, lower is
     better) and ``fig09/<scheme>/cols=<n>`` (streaming bandwidth, MB/s,
-    higher is better).
+    higher is better).  Cells fan out over ``jobs`` worker processes;
+    the result cache is bypassed — a regression gate always measures
+    fresh, whatever ``.repro-cache/`` holds.
     """
     # the gate measures the fault-free cost model regardless of env
     for var in ("REPRO_FAULT_PROFILE", "REPRO_FAULT_SEED"):
         os.environ.pop(var, None)
+    cells = [
+        Cell(fig, scheme, cols)
+        for cols in COLUMNS
+        for scheme in SCHEMES
+        for fig in ("fig08", "fig09")
+    ]
+    values = run_cells(cells, jobs=jobs, use_cache=False)
     metrics: dict[str, dict] = {}
     for cols in COLUMNS:
-        wl = column_vector(cols)
         for scheme in SCHEMES:
-            latency = measure_pingpong(scheme, wl.datatype)
             metrics[f"fig08/{scheme}/cols={cols}"] = {
-                "value": latency, "unit": "us", "better": "lower",
+                "value": values[Cell("fig08", scheme, cols)],
+                "unit": "us", "better": "lower",
             }
-            bandwidth = measure_bandwidth(scheme, wl.datatype)
             metrics[f"fig09/{scheme}/cols={cols}"] = {
-                "value": bandwidth, "unit": "MB/s", "better": "higher",
+                "value": values[Cell("fig09", scheme, cols)],
+                "unit": "MB/s", "better": "higher",
             }
     return {"schemes": list(SCHEMES), "columns": list(COLUMNS), "metrics": metrics}
+
+
+def load_baseline(path: Path) -> dict:
+    """Read and validate the baseline file.
+
+    Raises :class:`SystemExit` with an actionable message — never a bare
+    traceback — when the file is missing, unparsable, or has no metrics.
+    """
+    if not path.exists():
+        raise SystemExit(
+            f"benchmark gate: no baseline at {path}.\n"
+            f"Run `python -m repro.bench.gate --write-baseline` (on a known-"
+            f"good tree) and commit the result."
+        )
+    try:
+        baseline = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(
+            f"benchmark gate: cannot read baseline {path}: {exc}.\n"
+            f"Regenerate it with `python -m repro.bench.gate --write-baseline`."
+        )
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("metrics"), dict
+    ):
+        raise SystemExit(
+            f"benchmark gate: baseline {path} has no 'metrics' section.\n"
+            f"Regenerate it with `python -m repro.bench.gate --write-baseline`."
+        )
+    return baseline
+
+
+def missing_entries(report: dict, baseline: dict) -> list[str]:
+    """Requested metric keys the baseline has no (usable) entry for."""
+    base_metrics = baseline.get("metrics", {})
+    return [
+        key
+        for key in report["metrics"]
+        if not isinstance(base_metrics.get(key), dict)
+        or "value" not in base_metrics[key]
+    ]
 
 
 def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -74,8 +121,8 @@ def compare(report: dict, baseline: dict, tolerance: float) -> list[str]:
     base_metrics = baseline.get("metrics", {})
     for key, entry in report["metrics"].items():
         base = base_metrics.get(key)
-        if base is None:
-            continue  # new metric: no baseline yet, informational only
+        if not isinstance(base, dict) or "value" not in base:
+            continue  # reported separately by missing_entries()
         value, ref = entry["value"], base["value"]
         if ref == 0:
             continue
@@ -132,9 +179,26 @@ def main(argv=None) -> int:
                     help="also run the representative critical-path profile "
                          "(fig09, 64 KB, every scheme) and write the "
                          "bottleneck report + annotated Chrome traces here")
+    ap.add_argument("-j", "--jobs", type=int, default=None,
+                    help="worker processes for the measurement cells "
+                         "(0 = all cores; default $REPRO_BENCH_JOBS or 1)")
+    ap.add_argument("--selftest", type=Path, default=None, metavar="PATH",
+                    help="also run the wall-clock selftest (events/sec, "
+                         "per-figure sweep timing), write its report to "
+                         "PATH, and embed it in the gate's JSON output")
     args = ap.parse_args(argv)
 
-    report = collect()
+    report = collect(jobs=args.jobs)
+    if args.selftest is not None:
+        from repro.bench.selftest import format_selftest, run_selftest
+
+        selftest = run_selftest(jobs=args.jobs)
+        report["selftest"] = selftest
+        args.selftest.write_text(
+            json.dumps(selftest, indent=2, sort_keys=True) + "\n"
+        )
+        print(format_selftest(selftest))
+        print(f"\nwrote selftest report {args.selftest}")
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
@@ -147,17 +211,37 @@ def main(argv=None) -> int:
         )
         print(f"wrote baseline {args.baseline}")
         return 0
-    if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run with --write-baseline",
-              file=sys.stderr)
+    try:
+        baseline = load_baseline(args.baseline)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
         return 2
-    baseline = json.loads(args.baseline.read_text())
+    missing = missing_entries(report, baseline)
     failures = compare(report, baseline, args.tolerance)
+    base_metrics = baseline.get("metrics", {})
     for key, entry in sorted(report["metrics"].items()):
-        base = baseline.get("metrics", {}).get(key)
-        ref = f"{base['value']:.2f}" if base else "n/a"
+        base = base_metrics.get(key)
+        ref = (
+            f"{base['value']:.2f}"
+            if isinstance(base, dict) and "value" in base
+            else "n/a"
+        )
         print(f"  {key:<32} {entry['value']:10.2f} {entry['unit']:<5} "
               f"(baseline {ref})")
+    if missing:
+        print(
+            f"\nbenchmark gate: baseline {args.baseline} has no entry for "
+            f"{len(missing)} requested metric(s):",
+            file=sys.stderr,
+        )
+        for key in missing:
+            print(f"  {key}", file=sys.stderr)
+        print(
+            "If these metrics are newly added, refresh the baseline with "
+            "`python -m repro.bench.gate --write-baseline` and commit it.",
+            file=sys.stderr,
+        )
+        return 2
     if failures:
         print("\nbenchmark regressions:", file=sys.stderr)
         for msg in failures:

@@ -1,0 +1,283 @@
+"""Deterministic multi-process sweep executor with a result cache.
+
+The figure sweeps (``repro.bench.figures``) and the CI gate
+(``repro.bench.gate``) are grids of independent **cells** — one
+``(figure, series, x)`` measurement each, every cell building its own
+fresh :class:`~repro.mpi.world.Cluster`.  The simulation is
+deterministic and cells share no mutable state, so cells can be fanned
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` and merged
+back in canonical cell order: the resulting CSV/JSON output is
+byte-identical to the serial path, whatever the worker count or
+completion order.
+
+On top of the executor sits a content-addressed result cache under
+``.repro-cache/`` (override with ``$REPRO_CACHE_DIR``).  The key hashes
+everything a cell's value depends on:
+
+* the cell coordinates (figure, series, x, extra kwargs),
+* the workload spec the figure derives from ``x``,
+* every parameter of the default cost model,
+* the package version,
+* the fault-injection environment (profile + seed).
+
+Unchanged cells are skipped on re-runs; a cost-model recalibration, a
+version bump, or a different fault profile changes the key and forces
+re-measurement.  The CI regression gate always measures fresh
+(``use_cache=False``) — a gate that trusts yesterday's numbers gates
+nothing.
+
+Worker count resolution order: explicit ``jobs=`` argument, then
+:func:`set_jobs` (the CLI's ``-j``), then ``$REPRO_BENCH_JOBS``, then 1
+(serial).  ``jobs <= 0`` means "all cores".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = [
+    "Cell",
+    "SweepStats",
+    "STATS",
+    "cache_dir",
+    "cell_key",
+    "evaluate_cell",
+    "resolve_jobs",
+    "run_cells",
+    "set_cache_enabled",
+    "set_jobs",
+]
+
+JOBS_ENV = "REPRO_BENCH_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_ENV = "REPRO_BENCH_CACHE"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: process-wide defaults installed by the CLIs (None = consult the env)
+_default_jobs: Optional[int] = None
+_cache_enabled: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One sweep cell: a single measurement of ``series`` at ``x``.
+
+    ``extra`` carries figure-specific kwargs as a sorted tuple of
+    ``(name, value)`` pairs (e.g. ``(("nranks", 8),)`` for fig11) so the
+    cell stays hashable and picklable.
+    """
+
+    figure: str
+    series: str
+    x: int
+    extra: tuple = ()
+
+
+@dataclass
+class SweepStats:
+    """Cumulative counters across :func:`run_cells` calls."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    #: per-figure executed-cell counts (diagnostics for the selftest)
+    by_figure: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.cells = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.by_figure.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+
+#: module-wide counters — tests and the selftest read (and reset) these
+STATS = SweepStats()
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Install a process-wide default worker count (the CLI ``-j``)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: argument, CLI default, env, then 1."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"${JOBS_ENV}={env!r} is not an integer")
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def set_cache_enabled(enabled: Optional[bool]) -> None:
+    """Force the result cache on/off process-wide (None = consult env)."""
+    global _cache_enabled
+    _cache_enabled = enabled
+
+
+def cache_enabled() -> bool:
+    if _cache_enabled is not None:
+        return _cache_enabled
+    return os.environ.get(CACHE_ENV, "1").strip().lower() not in ("0", "false", "no")
+
+
+def cache_dir() -> Path:
+    """Root of the content-addressed result cache."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+# ----------------------------------------------------------------------
+# cache keying
+# ----------------------------------------------------------------------
+
+def _cost_model_params() -> dict:
+    from dataclasses import asdict
+
+    from repro.ib.costmodel import CostModel
+
+    return asdict(CostModel.mellanox_2003())
+
+
+def cell_key(cell: Cell) -> str:
+    """Content hash of everything the cell's value depends on."""
+    from repro import __version__
+    from repro.bench.figures import cell_workload_spec
+
+    material = {
+        "figure": cell.figure,
+        "series": cell.series,
+        "x": cell.x,
+        "extra": list(cell.extra),
+        "workload": cell_workload_spec(cell.figure, cell.x),
+        "cost_model": _cost_model_params(),
+        "version": __version__,
+        "fault_profile": os.environ.get("REPRO_FAULT_PROFILE", ""),
+        "fault_seed": os.environ.get("REPRO_FAULT_SEED", ""),
+    }
+    blob = json.dumps(material, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _cache_path(key: str) -> Path:
+    return cache_dir() / key[:2] / f"{key}.json"
+
+
+def _cache_load(key: str) -> Optional[float]:
+    path = _cache_path(key)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    value = payload.get("value")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _cache_store(key: str, cell: Cell, value: float) -> None:
+    path = _cache_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "figure": cell.figure,
+        "series": cell.series,
+        "x": cell.x,
+        "extra": list(cell.extra),
+        "value": value,
+    }
+    # atomic publish: concurrent sweeps may race on the same key, and a
+    # torn write must never be readable as a (corrupt) cached value
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+
+def evaluate_cell(cell: Cell) -> float:
+    """Measure one cell in the current process (the worker entry point)."""
+    from repro.bench.figures import CELL_EVALUATORS
+
+    fn = CELL_EVALUATORS.get(cell.figure)
+    if fn is None:
+        raise KeyError(f"no cell evaluator registered for {cell.figure!r}")
+    return fn(cell.series, cell.x, dict(cell.extra))
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> dict:
+    """Evaluate every cell; returns ``{cell: value}``.
+
+    Cached cells are skipped; misses run serially (``jobs == 1``) or on a
+    process pool.  The returned mapping is complete regardless of worker
+    count or completion order, so callers assembling output in canonical
+    cell order produce byte-identical files either way.
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    caching = cache_enabled() if use_cache is None else use_cache
+
+    results: dict = {}
+    misses: list[Cell] = []
+    keys: dict = {}
+    for cell in cells:
+        if caching:
+            key = cell_key(cell)
+            keys[cell] = key
+            value = _cache_load(key)
+            if value is not None:
+                results[cell] = value
+                continue
+        misses.append(cell)
+
+    STATS.cells += len(cells)
+    STATS.cache_hits += len(cells) - len(misses)
+
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
+                values = list(pool.map(evaluate_cell, misses))
+        else:
+            values = [evaluate_cell(cell) for cell in misses]
+        for cell, value in zip(misses, values):
+            results[cell] = value
+            if caching:
+                _cache_store(keys[cell], cell, value)
+            STATS.by_figure[cell.figure] = STATS.by_figure.get(cell.figure, 0) + 1
+        STATS.executed += len(misses)
+
+    return results

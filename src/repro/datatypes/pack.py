@@ -28,12 +28,8 @@ def pack_bytes(
 
     Returns the number of memory blocks visited (for cost accounting).
     """
-    out = memory.view(dest_addr, hi - lo)
-    pos = 0
     slices = cursor.slices(lo, hi)
-    for off, length in slices:
-        out[pos : pos + length] = memory.view(base_addr + off, length)
-        pos += length
+    memory.gather_blocks(base_addr, slices, dest_addr)
     return len(slices)
 
 
@@ -50,10 +46,6 @@ def unpack_bytes(
 
     Returns the number of memory blocks visited.
     """
-    src = memory.view(src_addr, hi - lo)
-    pos = 0
     slices = cursor.slices(lo, hi)
-    for off, length in slices:
-        memory.view(base_addr + off, length)[:] = src[pos : pos + length]
-        pos += length
+    memory.scatter_blocks(base_addr, slices, src_addr)
     return len(slices)

@@ -56,18 +56,18 @@ class SegmentCursor:
             )
         if lo == hi:
             return []
-        offsets, lengths, cum = self.flat.offsets, self.flat.lengths, self._cum
+        offsets, cum = self.flat.offsets, self._cum
         first = int(np.searchsorted(cum, lo, side="right")) - 1
         last = int(np.searchsorted(cum, hi, side="left")) - 1
-        out: list[tuple[int, int]] = []
-        for b in range(first, last + 1):
-            blk_lo = max(lo, int(cum[b]))
-            blk_hi = min(hi, int(cum[b + 1]))
-            if blk_hi > blk_lo:
-                out.append(
-                    (int(offsets[b]) + (blk_lo - int(cum[b])), blk_hi - blk_lo)
-                )
-        return out
+        starts = cum[first : last + 1]
+        blk_lo = np.maximum(lo, starts)
+        blk_hi = np.minimum(hi, cum[first + 1 : last + 2])
+        mem_off = offsets[first : last + 1] + (blk_lo - starts)
+        lens = blk_hi - blk_lo
+        pairs = [
+            (o, l) for o, l in zip(mem_off.tolist(), lens.tolist()) if l > 0
+        ]
+        return pairs
 
     def block_count(self, lo: int, hi: int) -> int:
         """Number of memory slices the packed range [lo, hi) touches —

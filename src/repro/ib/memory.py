@@ -70,6 +70,10 @@ class NodeMemory:
         self.capacity = capacity
         self.page_size = page_size
         self.data = np.zeros(capacity, dtype=np.uint8)
+        #: flat memoryview of the address space — per-block copies through
+        #: memoryview slices skip numpy's per-slice ndarray construction,
+        #: which dominates gather/scatter of many small datatype blocks
+        self._mv = memoryview(self.data)
         self._free: list[_FreeBlock] = [_FreeBlock(0, capacity)]
         self._allocated: dict[int, int] = {}  # addr -> size
         self._regions: dict[int, MemoryRegion] = {}  # lkey -> MR
@@ -149,6 +153,48 @@ class NodeMemory:
         """A typed numpy view starting at ``addr`` with ``shape``/``dtype``."""
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         return self.view(addr, nbytes).view(dtype).reshape(shape)
+
+    def gather_blocks(
+        self, base_addr: int, blocks: Iterable[tuple[int, int]], dest_addr: int
+    ) -> int:
+        """Copy ``(offset, length)`` blocks rooted at ``base_addr`` into the
+        contiguous range at ``dest_addr``; returns total bytes copied.
+
+        Block offsets are relative to ``base_addr``.  The destination must
+        not overlap any source block (pack staging buffers never alias the
+        user buffer); copies go through the cached memoryview.
+        """
+        mv = self._mv
+        pos = dest_addr
+        for off, length in blocks:
+            src = base_addr + off
+            if src < 0 or pos < 0:
+                raise ValueError(
+                    f"block copy outside address space (src {src:#x})"
+                )
+            mv[pos : pos + length] = mv[src : src + length]
+            pos += length
+        return pos - dest_addr
+
+    def scatter_blocks(
+        self, base_addr: int, blocks: Iterable[tuple[int, int]], src_addr: int
+    ) -> int:
+        """Copy the contiguous range at ``src_addr`` out to ``(offset,
+        length)`` blocks rooted at ``base_addr``; returns bytes copied.
+
+        The inverse of :meth:`gather_blocks`, same non-aliasing contract.
+        """
+        mv = self._mv
+        pos = src_addr
+        for off, length in blocks:
+            dst = base_addr + off
+            if dst < 0 or pos < 0:
+                raise ValueError(
+                    f"block copy outside address space (dst {dst:#x})"
+                )
+            mv[dst : dst + length] = mv[pos : pos + length]
+            pos += length
+        return pos - src_addr
 
     # -- registration -----------------------------------------------------
 

@@ -32,7 +32,7 @@ byte-identical.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -272,10 +272,17 @@ class Process(Event):
                 "yield Event instances (Timeout, Process, Resource grants, ...)"
             )
         if target.processed:
-            # Already completed: resume immediately (same timestamp).
+            # Already completed: resume at the same timestamp via a relay
+            # event carrying the target's outcome.  Appending the bound
+            # ``_resume`` directly (rather than a per-yield closure) keeps
+            # this path allocation-light — it runs once per yield of an
+            # already-satisfied dependency, a very hot pattern.
             hook = Event(self.sim)
-            hook.callbacks.append(lambda _ev: self._resume(target))
-            hook.succeed()
+            hook.callbacks.append(self._resume)
+            if target._exc is not None:
+                hook.fail(target._exc)
+            else:
+                hook.succeed(target._value)
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)
@@ -368,8 +375,15 @@ class Simulator:
         #: keeps the hot path free of any recording.
         self.profiler: Optional[Any] = None
         #: the event currently being processed by :meth:`step` — the
-        #: cause of anything scheduled during its callbacks
+        #: cause of anything scheduled during its callbacks.  Cleared as
+        #: soon as the dispatch returns: events scheduled from *driver*
+        #: code (between ``run()`` calls, or before the first) are causal
+        #: roots and must not inherit a stale cause from the previous
+        #: dispatch (see the critical-path profiler).
         self._current_event: Optional[Event] = None
+        #: total events dispatched by :meth:`step` (cancelled heap entries
+        #: excluded) — the numerator of the selftest's events/sec metric
+        self.events_processed: int = 0
 
     # -- factory helpers --------------------------------------------------
 
@@ -399,12 +413,14 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        due = self.now + delay
+        heappush(self._heap, (due, seq, event))
         if self.profiler is not None:
             event._cause = self._current_event
             event._sched_at = self.now
-            event._fire_at = self.now + delay
+            event._fire_at = due
 
     def _register_failure(self, proc: Process, exc: BaseException) -> None:
         self._failures.append((proc, exc))
@@ -413,15 +429,22 @@ class Simulator:
 
     def step(self) -> None:
         """Process the next event in the heap."""
-        time, _seq, event = heapq.heappop(self._heap)
+        time, _seq, event = heappop(self._heap)
         if event.cancelled:
             return
         if time < self.now:
             raise SimulationError("time went backwards")  # pragma: no cover
         self.now = time
+        self.events_processed += 1
         self._current_event = event
         had_waiters = bool(event.callbacks)
-        event._process()
+        try:
+            event._process()
+        finally:
+            # Anything scheduled after this point comes from driver code,
+            # not from this dispatch: drop the cause so causal roots of a
+            # later transfer never chain to the previous one.
+            self._current_event = None
         # A process that died with nobody waiting aborts the simulation;
         # otherwise the exception was delivered to the waiters.
         if isinstance(event, Process) and event._exc is not None and not had_waiters:
@@ -432,19 +455,25 @@ class Simulator:
 
         Returns the final simulated time.
         """
-        while self._heap:
-            if until is not None:
+        heap = self._heap
+        step = self.step
+        if until is None:
+            while heap:
+                step()
+        else:
+            while heap:
                 nxt = self.peek()
-                if not self._heap:
+                if not heap:
                     break
                 if nxt > until:
                     self.now = until
                     break
-            self.step()
+                step()
         return self.now
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        return heap[0][0] if heap else float("inf")

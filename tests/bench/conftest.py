@@ -24,3 +24,20 @@ def bench_results_dir(tmp_path_factory):
         os.environ.pop("REPRO_RESULTS_DIR", None)
     else:
         os.environ["REPRO_RESULTS_DIR"] = old
+
+
+@pytest.fixture(autouse=True, scope="session")
+def bench_cache_dir(tmp_path_factory):
+    """Point the sweep result cache away from the repo's .repro-cache/.
+
+    Same rationale as ``bench_results_dir``: test sweeps must never
+    populate (or read) the developer's real cell cache.
+    """
+    d = tmp_path_factory.mktemp("bench-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(d)
+    yield d
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

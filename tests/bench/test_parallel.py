@@ -1,0 +1,209 @@
+"""Parallel sweep executor: serial/parallel equivalence, result cache,
+jobs resolution, and the gate's baseline error handling."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import figures, gate, parallel
+from repro.bench.parallel import Cell, cell_key, resolve_jobs, run_cells
+
+
+@pytest.fixture
+def isolated_dirs(tmp_path, monkeypatch):
+    """Per-test results + cache dirs (figures are called via __wrapped__
+    to bypass the lru memo, so every call re-runs the sweep)."""
+    results = tmp_path / "results"
+    cache = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(results))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+    return results, cache
+
+
+def _csv_bytes(results_dir, name):
+    return (results_dir / "results" / name).read_bytes()
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(parallel.JOBS_ENV, raising=False)
+        parallel.set_jobs(None)
+        assert resolve_jobs() == 1
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "3")
+        parallel.set_jobs(None)
+        assert resolve_jobs() == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV, "lots")
+        parallel.set_jobs(None)
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        a = Cell("fig08", "bc-spup", 8)
+        assert cell_key(a) == cell_key(Cell("fig08", "bc-spup", 8))
+
+    def test_key_separates_cells(self):
+        keys = {
+            cell_key(Cell("fig08", "bc-spup", 8)),
+            cell_key(Cell("fig08", "bc-spup", 16)),
+            cell_key(Cell("fig08", "rwg-up", 8)),
+            cell_key(Cell("fig09", "bc-spup", 8)),
+            cell_key(Cell("fig11", "bc-spup", 2048, (("nranks", 4),))),
+            cell_key(Cell("fig11", "bc-spup", 2048, (("nranks", 8),))),
+        }
+        assert len(keys) == 6
+
+    def test_fault_environment_changes_key(self, monkeypatch):
+        cell = Cell("fig08", "bc-spup", 8)
+        monkeypatch.delenv("REPRO_FAULT_PROFILE", raising=False)
+        clean = cell_key(cell)
+        monkeypatch.setenv("REPRO_FAULT_PROFILE", "lossy")
+        assert cell_key(cell) != clean
+
+
+class TestCacheStore:
+    def test_roundtrip_exact_float(self, isolated_dirs):
+        cell = Cell("fig08", "bc-spup", 8)
+        key = cell_key(cell)
+        value = 123.45678901234567
+        parallel._cache_store(key, cell, value)
+        assert parallel._cache_load(key) == value
+
+    def test_corrupt_entry_is_a_miss(self, isolated_dirs):
+        cell = Cell("fig08", "bc-spup", 8)
+        key = cell_key(cell)
+        path = parallel._cache_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert parallel._cache_load(key) is None
+
+    def test_use_cache_false_bypasses(self, isolated_dirs, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            parallel, "evaluate_cell", lambda cell: calls.append(cell) or 1.0
+        )
+        cells = [Cell("fig08", "bc-spup", 8)]
+        run_cells(cells, jobs=1, use_cache=False)
+        run_cells(cells, jobs=1, use_cache=False)
+        assert len(calls) == 2
+        _, cache = isolated_dirs
+        assert not list(cache.rglob("*.json"))
+
+
+class TestEquivalence:
+    """-j 1, -j 4, and a warm-cache re-run must produce byte-identical CSVs."""
+
+    GRID = (8, 64)
+
+    def test_serial_parallel_warm_identical(self, isolated_dirs, tmp_path,
+                                            monkeypatch):
+        results, _cache = isolated_dirs
+        parallel.STATS.reset()
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-serial"))
+        figures.fig08.__wrapped__(self.GRID)
+        serial = _csv_bytes(results, "fig08.csv")
+        assert parallel.STATS.cache_hits == 0
+        assert parallel.STATS.executed == len(self.GRID) * 4
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-par"))
+        parallel.STATS.reset()
+        figures.fig08.__wrapped__(self.GRID)
+        # same dir, same filename: the parallel run overwrites the serial CSV
+        assert _csv_bytes(results, "fig08.csv") == serial
+
+        # warm re-run: every cell served from cache, output still identical
+        parallel.STATS.reset()
+        figures.fig08.__wrapped__(self.GRID)
+        assert parallel.STATS.cache_hits == parallel.STATS.cells
+        assert parallel.STATS.executed == 0
+        assert _csv_bytes(results, "fig08.csv") == serial
+
+    @pytest.mark.slow
+    def test_process_pool_matches_serial(self, isolated_dirs, tmp_path,
+                                         monkeypatch):
+        results, _cache = isolated_dirs
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-a"))
+        parallel.set_jobs(None)
+        figures.fig08.__wrapped__(self.GRID)
+        serial = _csv_bytes(results, "fig08.csv")
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache-b"))
+        parallel.set_jobs(4)
+        try:
+            parallel.STATS.reset()
+            figures.fig08.__wrapped__(self.GRID)
+        finally:
+            parallel.set_jobs(None)
+        assert parallel.STATS.executed == len(self.GRID) * 4
+        assert _csv_bytes(results, "fig08.csv") == serial
+
+
+class TestGateErrors:
+    def _shrink(self, monkeypatch):
+        monkeypatch.setattr(gate, "SCHEMES", ("bc-spup",))
+        monkeypatch.setattr(gate, "COLUMNS", (8,))
+
+    def test_missing_baseline_clear_message(self, tmp_path, monkeypatch,
+                                            capsys):
+        self._shrink(monkeypatch)
+        rc = gate.main(["--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no baseline" in err
+        assert "--write-baseline" in err
+        assert "Traceback" not in err
+
+    def test_corrupt_baseline_clear_message(self, tmp_path, monkeypatch,
+                                            capsys):
+        self._shrink(monkeypatch)
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{oops")
+        rc = gate.main(["--baseline", str(bad)])
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_missing_entry_clear_message(self, tmp_path, monkeypatch, capsys):
+        self._shrink(monkeypatch)
+        partial = tmp_path / "baseline.json"
+        partial.write_text(json.dumps(
+            {"metrics": {"fig08/bc-spup/cols=8": {
+                "value": 1.0, "unit": "us", "better": "lower"}}}
+        ))
+        rc = gate.main(["--baseline", str(partial)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no entry" in err
+        assert "fig09/bc-spup/cols=8" in err
+
+    def test_complete_baseline_passes(self, tmp_path, monkeypatch, capsys):
+        self._shrink(monkeypatch)
+        path = tmp_path / "baseline.json"
+        rc = gate.main(["--baseline", str(path), "--write-baseline"])
+        assert rc == 0
+        rc = gate.main(["--baseline", str(path)])
+        assert rc == 0
+        assert "benchmark gate passed" in capsys.readouterr().out
+
+
+class TestSelftest:
+    def test_engine_microbench_reports_rates(self):
+        from repro.bench.selftest import engine_microbench
+
+        report = engine_microbench()
+        for name in ("pingpong", "bandwidth"):
+            assert report[name]["events"] > 0
+            assert report[name]["events_per_sec"] > 0

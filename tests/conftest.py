@@ -18,6 +18,11 @@ def pytest_configure(config):
         "faultfree: pin REPRO_FAULT_PROFILE=none — the test asserts "
         "simulated timings, which fault injection perturbs",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-second test (process-pool sweeps, full-grid "
+        "equivalence); deselect with `-m 'not slow'`",
+    )
 
 
 @pytest.fixture(autouse=True)

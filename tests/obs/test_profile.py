@@ -381,3 +381,64 @@ class TestProfileCLI:
         events = json.loads(trace_file.read_text())["traceEvents"]
         assert any(e["ph"] == "C" for e in events)
         assert any(e["ph"] == "X" for e in events)
+
+
+class TestBackToBackTransfers:
+    """Independent transfers must not chain through a stale dispatch cursor.
+
+    Regression: ``Simulator._current_event`` used to survive past the end
+    of a dispatch, so the root events of a transfer started from driver
+    code *after* a previous ``run()`` inherited the previous transfer's
+    last event as their ``_cause`` — and ``critical_path()`` walked one
+    transfer's attribution into the other.
+    """
+
+    def _run_transfer(self, cluster, dt):
+        holder = {}
+        span = dt.flatten(1).span + abs(dt.lb) + 64
+
+        def rank0(mpi):
+            buf = mpi.alloc(span)
+            yield from mpi.send(buf, dt, 1, dest=1, tag=0)
+
+        def rank1(mpi):
+            buf = mpi.alloc(span)
+            req = yield from mpi.recv(buf, dt, 1, source=0, tag=0)
+            holder["req"] = req
+
+        cluster.run([rank0, rank1])
+        return holder["req"]
+
+    def test_second_transfer_path_stays_in_second_transfer(self):
+        from repro.bench.workloads import column_vector
+        from repro.ib.costmodel import MB
+        from repro.mpi.world import Cluster
+
+        dt = column_vector(64).datatype
+        cluster = Cluster(2, scheme="bc-spup", memory_per_rank=512 * MB,
+                          profile=True)
+        self._run_transfer(cluster, dt)
+        t_mid = cluster.sim.now
+        req2 = self._run_transfer(cluster, dt)
+
+        attr = critical_path(req2.done, t0=0.0)
+        # with the stale cause, steps of transfer 2's path reached back
+        # into transfer 1's events (start < t_mid); everything before
+        # t_mid must instead be unattributed idle time
+        assert attr.steps, "expected a non-empty critical path"
+        assert all(step.start >= t_mid - 1e-9 for step in attr.steps)
+        assert attr.unattributed_us >= t_mid - 1e-9
+
+    def test_second_transfer_attribution_closes(self):
+        from repro.bench.workloads import column_vector
+        from repro.ib.costmodel import MB
+        from repro.mpi.world import Cluster
+
+        dt = column_vector(64).datatype
+        cluster = Cluster(2, scheme="rwg-up", memory_per_rank=512 * MB,
+                          profile=True)
+        self._run_transfer(cluster, dt)
+        t_mid = cluster.sim.now
+        req2 = self._run_transfer(cluster, dt)
+        attr = critical_path(req2.done, t0=t_mid)
+        assert attr.closure_error() <= 1e-6 * max(attr.total_us, 1.0)
