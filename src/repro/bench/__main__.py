@@ -12,13 +12,17 @@ Usage::
 Tables print to stdout; CSVs land in ``results/``.  Figure sweeps run
 through the parallel executor (``-j``/``$REPRO_BENCH_JOBS`` workers) and
 the content-addressed result cache under ``.repro-cache/`` — pass
-``--fresh`` to ignore cached cells.
+``--fresh`` to ignore cached cells.  ``--live`` (stderr) or
+``--live-log FILE`` streams per-cell progress telemetry while a sweep
+runs; every figure sweep and selftest appends a record to the run
+ledger (``results/ledger/``, disable with ``--no-ledger``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench import ablations, figures, parallel
 from repro.bench.overlap import measure_overlap
@@ -45,6 +49,52 @@ ABLATIONS = {
     "window": ablations.window_sweep,
     "eager-threshold": ablations.eager_threshold,
 }
+
+
+def _append_sweep_record(target: str, result) -> None:
+    """Ledger one figure sweep: the full series grid as metric values."""
+    from repro.obs import ledger
+
+    try:
+        xs, series_map = result
+    except (TypeError, ValueError):
+        return
+    metrics = {}
+    for key, series in series_map.items():
+        for x, y in zip(xs, series.y):
+            metrics[f"{target}/{key}/x={x}"] = {"value": y}
+    record = ledger.make_record(
+        "sweep",
+        timestamp=time.time(),
+        sha=ledger.git_sha(),
+        metrics=metrics,
+        extra={"figure": target},
+    )
+    ledger.append_record(record)
+
+
+def _append_selftest_record(report: dict) -> None:
+    """Ledger one selftest run: engine events/sec + sweep throughput."""
+    from repro.obs import ledger
+
+    metrics = {
+        f"selftest/{fig}/cells_per_sec": {
+            "value": m["cells_per_sec"], "unit": "cells/s", "better": "higher",
+        }
+        for fig, m in report.get("figures", {}).items()
+    }
+    record = ledger.make_record(
+        "selftest",
+        timestamp=time.time(),
+        sha=ledger.git_sha(),
+        metrics=metrics,
+        events_per_sec={
+            name: m["events_per_sec"]
+            for name, m in report.get("engine", {}).items()
+        },
+        extra={"jobs": report.get("jobs")},
+    )
+    ledger.append_record(record)
 
 
 def _run_overlap(cols: int = 1024) -> None:
@@ -91,11 +141,31 @@ def main(argv=None) -> int:
         action="store_true",
         help="ignore the .repro-cache result cache and re-measure every cell",
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream per-cell sweep telemetry (JSONL) to stderr",
+    )
+    parser.add_argument(
+        "--live-log",
+        metavar="FILE",
+        default=None,
+        help="stream per-cell sweep telemetry (JSONL) to FILE",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not append run records to results/ledger/",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None:
         parallel.set_jobs(args.jobs)
     if args.fresh:
         parallel.set_cache_enabled(False)
+    if args.live_log is not None:
+        parallel.set_live_log(args.live_log)
+    elif args.live:
+        parallel.set_live_log("-")
     targets = list(args.targets)
     if "all" in targets:
         targets = sorted(FIGURES) + sorted(ABLATIONS) + ["overlap"]
@@ -108,16 +178,21 @@ def main(argv=None) -> int:
         if target == "selftest":
             from repro.bench.selftest import format_selftest, run_selftest
 
-            print(format_selftest(run_selftest(jobs=args.jobs)))
+            selftest = run_selftest(jobs=args.jobs)
+            print(format_selftest(selftest))
+            if not args.no_ledger:
+                _append_selftest_record(selftest)
             continue
         if target in ABLATIONS:
             ABLATIONS[target]()
             continue
         fn = FIGURES[target]
         if args.cols and target != "fig11":
-            fn(tuple(args.cols))
+            result = fn(tuple(args.cols))
         else:
-            fn()
+            result = fn()
+        if not args.no_ledger:
+            _append_sweep_record(target, result)
     return 0
 
 

@@ -43,8 +43,14 @@ SELFTEST_GRIDS = {
 }
 
 
-def engine_microbench() -> dict:
-    """Events/sec of the discrete-event engine on two reference runs."""
+def engine_microbench(repeats: int = 1) -> dict:
+    """Events/sec of the discrete-event engine on two reference runs.
+
+    ``repeats > 1`` runs each benchmark that many times and keeps the
+    fastest (highest events/sec) — the bench gate uses best-of-3 so a
+    scheduling hiccup on a shared CI machine doesn't read as an engine
+    regression.
+    """
     from repro.bench.workloads import column_vector
     from repro.ib.costmodel import MB
     from repro.mpi.world import Cluster
@@ -55,16 +61,21 @@ def engine_microbench() -> dict:
     out = {}
 
     def timed(name, programs):
-        cluster = Cluster(2, scheme="bc-spup", memory_per_rank=512 * MB)
-        t0 = time.perf_counter()
-        cluster.run(programs)
-        wall = time.perf_counter() - t0
-        events = cluster.sim.events_processed
-        out[name] = {
-            "events": events,
-            "wall_s": wall,
-            "events_per_sec": events / wall if wall > 0 else 0.0,
-        }
+        best = None
+        for _ in range(max(1, repeats)):
+            cluster = Cluster(2, scheme="bc-spup", memory_per_rank=512 * MB)
+            t0 = time.perf_counter()
+            cluster.run(programs)
+            wall = time.perf_counter() - t0
+            events = cluster.sim.events_processed
+            run = {
+                "events": events,
+                "wall_s": wall,
+                "events_per_sec": events / wall if wall > 0 else 0.0,
+            }
+            if best is None or run["events_per_sec"] > best["events_per_sec"]:
+                best = run
+        out[name] = best
 
     def pp0(mpi):
         buf = mpi.alloc(span)

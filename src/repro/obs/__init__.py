@@ -17,6 +17,11 @@ Three pieces (see docs/OBSERVABILITY.md):
   engine's provenance records (:mod:`repro.obs.profile`) and the
   predicted-vs-simulated cost explainer (:mod:`repro.obs.explain`); see
   docs/PROFILING.md.
+* **perf observatory** — the append-only run ledger
+  (:mod:`repro.obs.ledger`), trajectory tables + offline HTML dashboard
+  (:mod:`repro.obs.trends`), the gate-failure regression explainer
+  (:mod:`repro.obs.regress`), and the live sweep telemetry stream
+  (:mod:`repro.obs.live`).
 
 This package deliberately avoids importing the simulator/MPI stack at
 module level (only :mod:`repro.obs.report` and the profiled-run helpers
@@ -30,6 +35,14 @@ from repro.obs.chrome import (
     export_chrome_trace,
 )
 from repro.obs.explain import CategoryDelta, explain, format_explanation
+from repro.obs.ledger import (
+    append_record,
+    last_good,
+    ledger_path,
+    make_record,
+    read_ledger,
+)
+from repro.obs.live import LiveLog, open_live_log
 from repro.obs.metrics import (
     DEFAULT_BYTE_BUCKETS,
     DEFAULT_US_BUCKETS,
@@ -47,35 +60,64 @@ from repro.obs.profile import (
     critical_path,
     format_bottlenecks,
 )
+from repro.obs.regress import (
+    CategoryMove,
+    RegressionExplanation,
+    explain_regressions,
+    format_regressions,
+)
 from repro.obs.spans import (
     category_intervals,
     merge_intervals,
     overlap_us,
     span_tree,
 )
+from repro.obs.trends import (
+    dashboard_html,
+    format_trends,
+    run_trends,
+    sparkline,
+    write_dashboard,
+)
 
 __all__ = [
     "Attribution",
     "CATEGORIES",
     "CategoryDelta",
+    "CategoryMove",
     "Counter",
     "DEFAULT_BYTE_BUCKETS",
     "DEFAULT_US_BUCKETS",
     "Gauge",
     "Histogram",
+    "LiveLog",
     "MetricsRegistry",
     "PathStep",
     "Profiler",
+    "RegressionExplanation",
+    "append_record",
     "categorize",
     "category_intervals",
     "chrome_trace_events",
     "counter_track_events",
     "critical_path",
+    "dashboard_html",
     "explain",
+    "explain_regressions",
     "export_chrome_trace",
     "format_bottlenecks",
     "format_explanation",
+    "format_regressions",
+    "format_trends",
+    "last_good",
+    "ledger_path",
+    "make_record",
     "merge_intervals",
+    "open_live_log",
     "overlap_us",
+    "read_ledger",
+    "run_trends",
     "span_tree",
+    "sparkline",
+    "write_dashboard",
 ]

@@ -1,10 +1,13 @@
-"""CLI: ``python -m repro.obs {report,profile} [options]``.
+"""CLI: ``python -m repro.obs {report,profile,trends} [options]``.
 
-``report`` prints the per-scheme time breakdown table and optionally
-exports Chrome trace JSON and a metrics CSV snapshot.  ``profile`` runs
-the critical-path profiler: a ranked bottleneck table per scheme, the
-cost-model explanation (predicted vs simulated per category), and an
-annotated Chrome trace with resource counter tracks.
+``report`` prints the per-scheme time breakdown table (``--format json``
+for the machine-readable document) and optionally exports Chrome trace
+JSON and a metrics CSV snapshot.  ``profile`` runs the critical-path
+profiler: a ranked bottleneck table per scheme, the cost-model
+explanation (predicted vs simulated per category), and an annotated
+Chrome trace with resource counter tracks.  ``trends`` renders the
+append-only run ledger as per-metric trajectory tables with sparklines
+and can emit a self-contained offline HTML dashboard.
 """
 
 from __future__ import annotations
@@ -55,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final run's metric snapshot as CSV",
     )
+    rep.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: aligned text tables (default) or one JSON "
+        "document with the same data",
+    )
     prof = sub.add_parser(
         "profile",
         help="critical-path bottleneck attribution + cost-model explanation",
@@ -85,6 +95,37 @@ def build_parser() -> argparse.ArgumentParser:
             "tracks) per scheme to PREFIX.<scheme>.<size>.json"
         ),
     )
+    trd = sub.add_parser(
+        "trends",
+        help="per-metric trajectories over the run ledger (+ dashboard)",
+    )
+    trd.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="ledger file to read (default: results/ledger/ledger.jsonl, "
+        "honouring $REPRO_LEDGER_DIR / $REPRO_RESULTS_DIR)",
+    )
+    trd.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write a self-contained offline HTML dashboard here",
+    )
+    trd.add_argument(
+        "--metric",
+        metavar="GLOB",
+        action="append",
+        default=None,
+        help="only metrics matching this glob (repeatable), "
+        "e.g. --metric 'fig08/*'",
+    )
+    trd.add_argument(
+        "--last",
+        type=int,
+        default=20,
+        help="show at most the last N records per metric (default 20)",
+    )
     return parser
 
 
@@ -97,8 +138,18 @@ def main(argv=None) -> int:
             schemes=args.schemes,
             chrome_out=args.chrome_trace,
             metrics_out=args.metrics_csv,
+            fmt=args.format,
         )
         return 0
+    if args.command == "trends":
+        from repro.obs.trends import run_trends
+
+        return run_trends(
+            ledger=args.ledger,
+            html=args.html,
+            patterns=args.metric,
+            last=args.last,
+        )
     if args.command == "profile":
         from repro.obs.profile import run_profile
 

@@ -1,0 +1,176 @@
+"""Live sweep telemetry: a JSONL progress stream for long sweeps.
+
+``repro.bench.parallel.run_cells`` drives a :class:`LiveLog` while a
+sweep is in flight (enable with ``--live`` / ``--live-log FILE`` on the
+bench CLIs or ``$REPRO_LIVE_LOG``).  Three record shapes, one JSON
+object per line, flushed as they happen so a tail/CI log viewer sees
+progress immediately:
+
+``sweep-start``
+    ``total`` cells, how many were served from the result cache
+    (``cached``) vs queued for execution (``to_run``), and the worker
+    count.
+``cell``
+    one completed cell — its coordinates and value, whether it was a
+    cache hit, running totals (``done``/``total``), wall-clock
+    ``elapsed_s``, the projected ``eta_s`` to sweep completion, cells
+    still in flight on the pool, and ``utilization`` (in-flight workers
+    / pool size).
+``sweep-end``
+    final wall-clock time plus the cumulative
+    :data:`repro.bench.parallel.STATS` counters (``cells``,
+    ``cache_hits``, ``executed``) so the stream's last line reconciles
+    exactly with the in-process stats object.
+
+This module never reads the wall clock itself (the obs package is
+clock-free by contract); the caller injects a monotonic ``clock``
+callable and the sink.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Callable, Optional, TextIO
+
+__all__ = ["LiveLog", "open_live_log"]
+
+
+class LiveLog:
+    """Serializer for the sweep progress stream.
+
+    Parameters
+    ----------
+    sink:
+        writable text stream (one JSON object per line, flushed).
+    clock:
+        zero-arg callable returning seconds (monotonic); injected by the
+        bench layer (the obs package itself stays clock-free).
+    jobs:
+        worker-pool size, for the utilization field.
+    close_sink:
+        close ``sink`` on :meth:`close` (True for files the opener
+        created, False for stderr).
+    """
+
+    def __init__(
+        self,
+        sink: TextIO,
+        *,
+        clock: Callable[[], float],
+        jobs: int = 1,
+        close_sink: bool = False,
+    ):
+        self._sink = sink
+        self._clock = clock
+        self._close_sink = close_sink
+        self.jobs = max(1, int(jobs))
+        self._t0 = clock()
+        self._total = 0
+        self._done = 0
+        self._executed = 0
+
+    # -- low-level ------------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        """Write one record as a flushed JSON line (never raises into the
+        sweep: a dead sink only loses telemetry, not results)."""
+        try:
+            self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+            self._sink.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._close_sink:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+
+    def _elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    # -- record shapes --------------------------------------------------
+
+    def sweep_start(self, total: int, cached: int, to_run: int) -> None:
+        self._t0 = self._clock()
+        self._total = total
+        self._done = 0
+        self._executed = 0
+        self.emit({
+            "event": "sweep-start",
+            "total": total,
+            "cached": cached,
+            "to_run": to_run,
+            "jobs": self.jobs,
+        })
+
+    def cell_done(
+        self,
+        cell: Any,
+        value: float,
+        *,
+        cached: bool,
+        in_flight: int = 0,
+    ) -> None:
+        """Report one finished cell (cache hit or fresh execution)."""
+        self._done += 1
+        if not cached:
+            self._executed += 1
+        elapsed = self._elapsed()
+        remaining = max(0, self._total - self._done)
+        # rate from executed cells only: cache hits are ~instant and
+        # would make the ETA wildly optimistic for the cells still to run
+        if self._executed > 0 and remaining > 0:
+            eta = elapsed / self._executed * remaining
+        else:
+            eta = 0.0
+        self.emit({
+            "event": "cell",
+            "figure": getattr(cell, "figure", None),
+            "series": getattr(cell, "series", None),
+            "x": getattr(cell, "x", None),
+            "value": value,
+            "cached": cached,
+            "done": self._done,
+            "total": self._total,
+            "elapsed_s": round(elapsed, 6),
+            "eta_s": round(eta, 6),
+            "in_flight": in_flight,
+            "utilization": round(min(1.0, in_flight / self.jobs), 4),
+        })
+
+    def sweep_end(self, stats: Any) -> None:
+        """Final record: reconciles against the cumulative STATS counters."""
+        self.emit({
+            "event": "sweep-end",
+            "elapsed_s": round(self._elapsed(), 6),
+            "done": self._done,
+            "total": self._total,
+            "stats": {
+                "cells": stats.cells,
+                "cache_hits": stats.cache_hits,
+                "executed": stats.executed,
+            },
+        })
+
+
+def open_live_log(
+    spec: Optional[str],
+    *,
+    clock: Callable[[], float],
+    jobs: int = 1,
+) -> Optional[LiveLog]:
+    """Build a :class:`LiveLog` from a destination spec.
+
+    ``None``/empty disables telemetry; ``"-"`` or ``"stderr"`` streams to
+    stderr; anything else is a file path opened for append (so several
+    sweeps in one command share a coherent stream).
+    """
+    if not spec:
+        return None
+    if spec in ("-", "stderr"):
+        return LiveLog(sys.stderr, clock=clock, jobs=jobs, close_sink=False)
+    sink = open(spec, "a", encoding="utf-8")
+    return LiveLog(sink, clock=clock, jobs=jobs, close_sink=True)

@@ -27,6 +27,7 @@ __all__ = [
     "format_health",
     "health_counters",
     "measure_breakdown",
+    "report_json",
     "run_report",
     "workload_for",
 ]
@@ -189,22 +190,52 @@ def format_table(rows: Sequence[SchemeBreakdown]) -> str:
     return "\n".join(lines)
 
 
+def report_json(
+    workload: str,
+    sizes: Sequence[int],
+    rows: Sequence[SchemeBreakdown],
+    health: dict,
+) -> dict:
+    """The machine-readable report: same data as the text tables.
+
+    This is the one schema external tooling (and the run ledger) reads;
+    see docs/OBSERVABILITY.md for the field list.
+    """
+    from dataclasses import asdict
+
+    return {
+        "schema": 1,
+        "workload": workload,
+        "sizes": list(sizes),
+        "rows": [
+            {**asdict(r), "overlap_pct": r.overlap_pct} for r in rows
+        ],
+        "health": dict(health),
+    }
+
+
 def run_report(
     workload: str = "fig09",
     sizes: Sequence[int] = (65536,),
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     chrome_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    fmt: str = "text",
     print_fn=print,
 ) -> list[SchemeBreakdown]:
     """Run the breakdown for every (size, scheme) and print the table.
 
     ``chrome_out`` writes one Chrome trace JSON per scheme/size
     (``<prefix>.<scheme>.<size>.json``); ``metrics_out`` writes the last
-    run's metric snapshot as CSV.
+    run's metric snapshot as CSV.  ``fmt="json"`` prints one JSON
+    document (:func:`report_json`) instead of the text tables.
     """
+    import json as _json
+
     from repro.obs.chrome import export_chrome_trace
 
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown report format {fmt!r}; use text or json")
     rows: list[SchemeBreakdown] = []
     last_cluster = None
     health: dict = {}
@@ -222,11 +253,20 @@ def run_report(
                 export_chrome_trace(
                     cluster.tracer, f"{prefix}.{scheme}.{nbytes}.json"
                 )
-        print_fn(f"workload {workload}: {wl.name} ({wl.nbytes} bytes/element)")
-        print_fn(format_table(size_rows))
-        print_fn("")
+        if fmt == "text":
+            print_fn(
+                f"workload {workload}: {wl.name} ({wl.nbytes} bytes/element)"
+            )
+            print_fn(format_table(size_rows))
+            print_fn("")
         rows.extend(size_rows)
-    if health:
+    if fmt == "json":
+        print_fn(_json.dumps(
+            report_json(workload, sizes, rows, health),
+            indent=2,
+            sort_keys=True,
+        ))
+    elif health:
         print_fn(format_health(health))
         print_fn("")
     if metrics_out and last_cluster is not None:

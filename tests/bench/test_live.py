@@ -1,0 +1,164 @@
+"""Live sweep telemetry: the JSONL progress stream run_cells emits."""
+
+import io
+import itertools
+import json
+
+import pytest
+
+from repro.bench import parallel
+from repro.bench.parallel import Cell, run_cells
+from repro.obs.live import LiveLog, open_live_log
+
+CELLS = [
+    Cell(fig, scheme, cols)
+    for fig in ("fig08", "fig09")
+    for scheme in ("bc-spup", "rwg-up")
+    for cols in (8, 16)
+]
+
+
+def _fake_clock(step=0.25):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def _read(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+@pytest.fixture(autouse=True)
+def fresh_stats(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    parallel.STATS.reset()
+    parallel.set_live_log(None)
+    yield
+    parallel.set_live_log(None)
+
+
+class TestLiveLog:
+    def test_record_stream_shapes(self):
+        sink = io.StringIO()
+        log = LiveLog(sink, clock=_fake_clock(), jobs=2)
+        log.sweep_start(total=2, cached=0, to_run=2)
+        log.cell_done(CELLS[0], 12.5, cached=False, in_flight=2)
+        log.cell_done(CELLS[1], 13.5, cached=True, in_flight=1)
+        log.sweep_end(parallel.STATS)
+        log.close()
+        recs = [json.loads(ln) for ln in sink.getvalue().splitlines()]
+        assert [r["event"] for r in recs] == [
+            "sweep-start", "cell", "cell", "sweep-end",
+        ]
+        start, first, second, end = recs
+        assert start["jobs"] == 2 and start["to_run"] == 2
+        assert first["figure"] == "fig08" and first["series"] == "bc-spup"
+        assert first["x"] == 8 and first["value"] == 12.5
+        assert first["done"] == 1 and first["total"] == 2
+        assert first["utilization"] == 1.0  # 2 in flight / 2 workers
+        assert first["eta_s"] > 0  # one executed, one remaining
+        assert second["cached"] is True
+        assert end["done"] == 2
+
+    def test_eta_uses_executed_rate_only(self):
+        sink = io.StringIO()
+        log = LiveLog(sink, clock=_fake_clock(1.0), jobs=1)
+        log.sweep_start(total=3, cached=2, to_run=1)
+        log.cell_done(CELLS[0], 1.0, cached=True)
+        rec = json.loads(sink.getvalue().splitlines()[-1])
+        assert rec["eta_s"] == 0.0  # cache hits predict nothing
+
+    def test_dead_sink_never_raises(self):
+        sink = io.StringIO()
+        sink.close()
+        log = LiveLog(sink, clock=_fake_clock(), jobs=1)
+        log.sweep_start(total=1, cached=0, to_run=1)  # swallowed
+        log.cell_done(CELLS[0], 1.0, cached=False)
+        log.close()
+
+
+class TestOpenLiveLog:
+    def test_disabled_when_unset(self):
+        assert open_live_log(None, clock=_fake_clock()) is None
+        assert open_live_log("", clock=_fake_clock()) is None
+
+    def test_stderr_specs(self, capsys):
+        for spec in ("-", "stderr"):
+            log = open_live_log(spec, clock=_fake_clock(), jobs=3)
+            log.sweep_start(total=1, cached=0, to_run=1)
+            log.close()  # must not close stderr
+        err = capsys.readouterr().err
+        assert err.count('"sweep-start"') == 2
+
+    def test_file_spec_appends(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        for _ in range(2):
+            log = open_live_log(str(path), clock=_fake_clock(), jobs=1)
+            log.sweep_start(total=0, cached=0, to_run=0)
+            log.close()
+        assert len(_read(path)) == 2  # append mode: streams accumulate
+
+
+class TestSweepTelemetry:
+    def test_parallel_sweep_emits_per_cell_records(self, tmp_path):
+        """-j 4 sweep: one cell record per cell, final stats reconcile
+        exactly with parallel.STATS (the issue's acceptance check)."""
+        path = tmp_path / "live.jsonl"
+        parallel.set_live_log(str(path))
+        values = run_cells(CELLS, jobs=4)
+        assert len(values) == len(CELLS)
+
+        recs = _read(path)
+        assert recs[0]["event"] == "sweep-start"
+        assert recs[0]["total"] == len(CELLS)
+        cell_recs = [r for r in recs if r["event"] == "cell"]
+        assert len(cell_recs) == len(CELLS)
+        seen = {(r["figure"], r["series"], r["x"]) for r in cell_recs}
+        assert seen == {(c.figure, c.series, c.x) for c in CELLS}
+        # values in the stream match the merged sweep results
+        for r in cell_recs:
+            assert r["value"] == values[Cell(r["figure"], r["series"], r["x"])]
+        assert all(not r["cached"] for r in cell_recs)
+        assert all(
+            0.0 <= r["utilization"] <= 1.0 and r["in_flight"] >= 0
+            for r in cell_recs
+        )
+        assert [r["done"] for r in cell_recs] == list(
+            range(1, len(CELLS) + 1)
+        )
+
+        end = recs[-1]
+        assert end["event"] == "sweep-end"
+        assert end["stats"] == {
+            "cells": parallel.STATS.cells,
+            "cache_hits": parallel.STATS.cache_hits,
+            "executed": parallel.STATS.executed,
+        }
+        assert end["stats"]["executed"] == len(CELLS)
+
+    def test_warm_rerun_reports_cache_hits(self, tmp_path):
+        parallel.set_live_log(None)
+        run_cells(CELLS[:4], jobs=1)  # warm the cache silently
+        path = tmp_path / "live.jsonl"
+        parallel.set_live_log(str(path))
+        run_cells(CELLS[:4], jobs=1)
+        recs = _read(path)
+        assert recs[0]["cached"] == 4 and recs[0]["to_run"] == 0
+        cell_recs = [r for r in recs if r["event"] == "cell"]
+        assert len(cell_recs) == 4
+        assert all(r["cached"] for r in cell_recs)
+        assert recs[-1]["stats"]["cache_hits"] == parallel.STATS.cache_hits
+
+    def test_serial_sweep_also_streams(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        parallel.set_live_log(str(path))
+        run_cells(CELLS[:2], jobs=1)
+        events = [r["event"] for r in _read(path)]
+        assert events == ["sweep-start", "cell", "cell", "sweep-end"]
+
+    def test_no_telemetry_when_disabled(self, tmp_path):
+        run_cells(CELLS[:2], jobs=1)
+        assert not list(tmp_path.glob("*.jsonl"))

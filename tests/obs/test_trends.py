@@ -1,0 +1,136 @@
+"""Trends CLI and offline dashboard over the run ledger."""
+
+import pytest
+
+from repro.obs import ledger, trends
+
+
+def _record(i, value, status="pass", **kw):
+    return ledger.make_record(
+        "gate",
+        timestamp=1700000000.0 + i * 3600,
+        sha=f"{i:040x}",
+        status=status,
+        metrics={
+            "fig08/bc-spup/cols=64": {
+                "value": value, "unit": "us", "better": "lower",
+            }
+        },
+        **kw,
+    )
+
+
+@pytest.fixture
+def two_records(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+    ledger.append_record(_record(0, 100.0, events_per_sec={"post_poll": 5e6}))
+    ledger.append_record(_record(1, 120.0, events_per_sec={"post_poll": 6e6}))
+    return tmp_path / "ledger.jsonl"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert trends.sparkline([]) == ""
+
+    def test_flat_series_is_mid_bar(self):
+        assert trends.sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_monotone_ramps_low_to_high(self):
+        s = trends.sparkline([1, 2, 3, 4])
+        assert s[0] == "▁" and s[-1] == "█" and len(s) == 4
+
+
+class TestRecordMetrics:
+    def test_flattens_metrics_and_engine_throughput(self):
+        flat = trends.record_metrics(_record(0, 42.0,
+                                             events_per_sec={"pp": 1e6}))
+        assert flat["fig08/bc-spup/cols=64"]["value"] == 42.0
+        assert flat["engine/pp/events_per_sec"] == {
+            "value": 1e6, "unit": "ev/s", "better": "higher",
+        }
+
+    def test_ignores_malformed_entries(self):
+        rec = {"metrics": {"a": 3, "b": {"novalue": 1}, "c": {"value": 2}}}
+        assert list(trends.record_metrics(rec)) == ["c"]
+
+
+class TestFormatTrends:
+    def test_two_record_trajectory_with_delta(self, two_records):
+        records = ledger.read_ledger(two_records)
+        text = trends.format_trends(records)
+        assert "perf trends — 2 ledger record(s)" in text
+        assert "fig08/bc-spup/cols=64" in text
+        assert "+20.0%" in text  # 100 -> 120
+        assert "▁█" in text
+        # engine throughput rides along under the unified key space
+        assert "engine/post_poll/events_per_sec" in text
+
+    def test_last_window_truncates(self, two_records):
+        records = ledger.read_ledger(two_records)
+        text = trends.format_trends(records, last=1)
+        # only the newest row survives, so no delta column value
+        assert "100.00" not in text and "120.00" in text
+
+
+class TestDashboard:
+    def test_offline_self_contained_html(self, two_records, tmp_path):
+        records = ledger.read_ledger(two_records)
+        out = trends.write_dashboard(records, tmp_path / "dash.html")
+        html = out.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html  # sparkline rendered inline
+        assert "fig08/bc-spup/cols=64" in html
+        assert "prefers-color-scheme: dark" in html
+        # fully offline: no external fetches of any kind
+        for needle in ("http://", "https://", "<script", "@import"):
+            assert needle not in html
+        # table view + status badge (never color-alone)
+        assert "<table>" in html
+        assert 'class="badge pass">pass<' in html
+
+    def test_fail_badge(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        ledger.append_record(_record(0, 100.0, status="fail"))
+        html = trends.dashboard_html(ledger.read_ledger())
+        assert 'class="badge fail">fail<' in html
+
+
+class TestRunTrends:
+    def test_empty_ledger_exits_zero_with_message(self, tmp_path):
+        out = []
+        rc = trends.run_trends(tmp_path / "missing.jsonl", print_fn=out.append)
+        assert rc == 0
+        assert "ledger is empty" in out[0]
+
+    def test_metric_filter(self, two_records):
+        out = []
+        rc = trends.run_trends(
+            two_records, patterns=["engine/*"], print_fn=out.append
+        )
+        assert rc == 0
+        text = "\n".join(out)
+        assert "engine/post_poll/events_per_sec" in text
+        assert "fig08/bc-spup/cols=64" not in text
+
+    def test_filter_with_no_match_still_exits_zero(self, two_records):
+        out = []
+        rc = trends.run_trends(
+            two_records, patterns=["nope/*"], print_fn=out.append
+        )
+        assert rc == 0
+        assert "no ledger metrics match" in out[0]
+
+    def test_writes_dashboard(self, two_records, tmp_path):
+        out = []
+        html = tmp_path / "d" / "dash.html"
+        rc = trends.run_trends(two_records, html=html, print_fn=out.append)
+        assert rc == 0
+        assert html.exists()
+        assert any("wrote dashboard" in line for line in out)
+
+    def test_cli_entrypoint(self, two_records, capsys):
+        from repro.obs.__main__ import main
+
+        rc = main(["trends", "--ledger", str(two_records), "--last", "5"])
+        assert rc == 0
+        assert "perf trends" in capsys.readouterr().out
