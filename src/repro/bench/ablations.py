@@ -180,7 +180,9 @@ def eager_threshold(
         for t in thresholds:
             cm = CostModel.mellanox_2003().with_overrides(eager_threshold=t)
             out[t].y.append(
-                measure_pingpong("bc-spup", w.datatype, cluster_kwargs={"cost_model": cm})
+                measure_pingpong(
+                    "bc-spup", w.datatype, cluster_kwargs={"cost_model": cm}
+                )
             )
     series = list(out.values())
     print_table(

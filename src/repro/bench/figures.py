@@ -58,34 +58,59 @@ _LABEL = {
 # per-cell measurement functions (module-level: picklable for workers)
 # ----------------------------------------------------------------------
 
+def _preset_kwargs(extra: dict, base: Optional[dict] = None) -> Optional[dict]:
+    """Cluster kwargs for a cell, honouring an optional cost-model preset.
+
+    Cells carry the preset *by name* in ``extra`` (``("preset", name)``)
+    so they stay picklable; the worker resolves the name against the
+    preset registry at evaluation time.  Without a preset the base
+    kwargs pass through untouched (None stays None — byte-identical to
+    the pre-preset call paths).
+    """
+    name = extra.get("preset")
+    if not name:
+        return dict(base) if base else base
+    from repro.ib.costmodel import get_preset
+
+    kwargs = dict(base or {})
+    kwargs["cost_model"] = get_preset(name)
+    return kwargs
+
+
 def _eval_fig02(series: str, x: int, extra: dict) -> float:
     w = column_vector(x)
+    ck = _preset_kwargs(extra)
     if series == "Contig":
-        return measure_contig_pingpong(w.nbytes, scheme="generic")
+        return measure_contig_pingpong(w.nbytes, scheme="generic",
+                                       cluster_kwargs=ck)
     if series == "Datatype":
-        return measure_pingpong("generic", w.datatype)
+        return measure_pingpong("generic", w.datatype, cluster_kwargs=ck)
     if series == "DT+reg":
         return measure_pingpong(
-            "generic", w.datatype, scheme_options={"fresh_buffers": True}
+            "generic", w.datatype, cluster_kwargs=ck,
+            scheme_options={"fresh_buffers": True},
         )
     if series == "Manual":
-        return measure_manual_pingpong(w.datatype)
+        return measure_manual_pingpong(w.datatype, cluster_kwargs=ck)
     if series == "Multiple":
-        return measure_multiple_pingpong(w.datatype)
+        return measure_multiple_pingpong(w.datatype, cluster_kwargs=ck)
     raise KeyError(f"fig02: unknown series {series!r}")
 
 
 def _eval_fig08(series: str, x: int, extra: dict) -> float:
-    return measure_pingpong(series, column_vector(x).datatype)
+    return measure_pingpong(series, column_vector(x).datatype,
+                            cluster_kwargs=_preset_kwargs(extra))
 
 
 def _eval_fig09(series: str, x: int, extra: dict) -> float:
-    return measure_bandwidth(series, column_vector(x).datatype)
+    return measure_bandwidth(series, column_vector(x).datatype,
+                             cluster_kwargs=_preset_kwargs(extra))
 
 
 def _eval_fig11(series: str, x: int, extra: dict) -> float:
     return measure_alltoall(
-        series, fig10_struct(x).datatype, nranks=extra.get("nranks", 8)
+        series, fig10_struct(x).datatype, nranks=extra.get("nranks", 8),
+        cluster_kwargs=_preset_kwargs(extra),
     )
 
 
@@ -93,6 +118,7 @@ def _eval_fig12(series: str, x: int, extra: dict) -> float:
     return measure_bandwidth(
         "rwg-up",
         column_vector(x).datatype,
+        cluster_kwargs=_preset_kwargs(extra),
         scheme_options={"segment_unpack": series == "seg-unpack"},
     )
 
@@ -101,6 +127,7 @@ def _eval_fig13(series: str, x: int, extra: dict) -> float:
     return measure_bandwidth(
         "multi-w",
         column_vector(x).datatype,
+        cluster_kwargs=_preset_kwargs(extra),
         scheme_options={"list_post": series == "list"},
     )
 
@@ -110,8 +137,21 @@ def _eval_fig14(series: str, x: int, extra: dict) -> float:
     return measure_pingpong(
         series,
         column_vector(x).datatype,
-        cluster_kwargs=WORST_CASE,
+        cluster_kwargs=_preset_kwargs(extra, WORST_CASE),
         scheme_options=opts,
+    )
+
+
+def _eval_contig(series: str, x: int, extra: dict) -> float:
+    """Contiguous ping-pong of ``x`` bytes (series names the scheme).
+
+    Used by the guidelines harness to probe the eager/rendezvous
+    crossover of a preset, where the interesting sizes depend on the
+    preset's own ``eager_threshold`` rather than the paper's column
+    grid.
+    """
+    return measure_contig_pingpong(
+        x, scheme=series, cluster_kwargs=_preset_kwargs(extra)
     )
 
 
@@ -125,6 +165,7 @@ CELL_EVALUATORS = {
     "fig12": _eval_fig12,
     "fig13": _eval_fig13,
     "fig14": _eval_fig14,
+    "contig": _eval_contig,
 }
 
 
@@ -132,6 +173,8 @@ def cell_workload_spec(figure: str, x: int) -> str:
     """Human-readable workload identity of a cell — part of its cache key."""
     if figure == "fig11":
         return fig10_struct(x).name
+    if figure == "contig":
+        return f"contig:{x}B"
     return column_vector(x).name
 
 

@@ -190,26 +190,33 @@ def _open_live(jobs: int):
 # cache keying
 # ----------------------------------------------------------------------
 
-def _cost_model_params() -> dict:
+def _cost_model_params(preset: Optional[str] = None) -> dict:
     from dataclasses import asdict
 
-    from repro.ib.costmodel import CostModel
+    from repro.ib.costmodel import CostModel, get_preset
 
-    return asdict(CostModel.mellanox_2003())
+    cm = get_preset(preset) if preset else CostModel.mellanox_2003()
+    return asdict(cm)
 
 
 def cell_key(cell: Cell) -> str:
-    """Content hash of everything the cell's value depends on."""
+    """Content hash of everything the cell's value depends on.
+
+    A cell carrying a cost-model preset in ``extra`` is keyed on the
+    preset's *resolved parameter set*, not just its name — recalibrating
+    a preset invalidates exactly that preset's cached cells.
+    """
     from repro import __version__
     from repro.bench.figures import cell_workload_spec
 
+    preset = dict(cell.extra).get("preset")
     material = {
         "figure": cell.figure,
         "series": cell.series,
         "x": cell.x,
         "extra": list(cell.extra),
         "workload": cell_workload_spec(cell.figure, cell.x),
-        "cost_model": _cost_model_params(),
+        "cost_model": _cost_model_params(preset),
         "version": __version__,
         "fault_profile": os.environ.get("REPRO_FAULT_PROFILE", ""),
         "fault_seed": os.environ.get("REPRO_FAULT_SEED", ""),

@@ -57,7 +57,9 @@ def print_table(
                 else:  # lower is better
                     row.append(f"{base.y[i] / s.y[i]:.2f}x")
         rows.append(row)
-    widths = [max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))]
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) for c in range(len(header))
+    ]
     lines = [title, "-" * len(title)]
     lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
     for row in rows:
@@ -67,7 +69,9 @@ def print_table(
     return text
 
 
-def write_csv(path: str, x_label: str, x_values: Sequence, series: Iterable[Series]) -> None:
+def write_csv(
+    path: str, x_label: str, x_values: Sequence, series: Iterable[Series]
+) -> None:
     """Write the series to a CSV file (directories created as needed).
 
     Relative paths are resolved against ``$REPRO_RESULTS_DIR`` when it is

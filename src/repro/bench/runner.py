@@ -9,7 +9,6 @@ benchmark's warmup loop amortizes them on hardware.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.datatypes import Datatype, contiguous, INT, BYTE

@@ -17,7 +17,6 @@ MPI semantics implemented here:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.datatypes import flatten as flatten_mod
 from repro.datatypes.flatten import Flattened

@@ -1,0 +1,54 @@
+"""Cross-hardware performance-guidelines observatory.
+
+Träff, Gropp and Thakur's *Performance Expectations and Status Quo*
+(self-consistent MPI performance guidelines) formalized what users may
+reasonably expect of an MPI implementation: sending a derived datatype
+should never be slower than packing it yourself and sending the bytes, a
+larger message should never travel faster than a smaller one, and so on.
+The paper reproduced here predates that work — and its motivating
+Figure 2 is precisely a *violation* of the pack-then-send guideline on
+2003 hardware.
+
+This package turns those expectations into a checked, CI-gated sweep
+across cost-model presets spanning two decades of hardware
+(:data:`repro.ib.costmodel.PRESETS`):
+
+* :mod:`~repro.guidelines.registry` — the declarative guideline
+  catalogue;
+* :mod:`~repro.guidelines.harness` — sweeps every (scheme x preset x
+  workload) cell through the cached process-pool runner, classifies each
+  check as pass / violation / crossover-shift vs the paper's testbed,
+  and attributes violations to a cost category via the
+  :mod:`repro.obs.explain` predicted-vs-simulated machinery;
+* :mod:`~repro.guidelines.waivers` — the checked-in expectations file
+  (``benchmarks/guidelines.json``): known, explained violations are
+  waived, new ones fail CI;
+* :mod:`~repro.guidelines.report` — markdown / JSON / console renderers;
+* ``python -m repro.guidelines check`` — the CLI the CI job runs.
+"""
+
+from repro.guidelines.registry import GUIDELINES, Guideline
+from repro.guidelines.harness import (
+    BASELINE_PRESET,
+    DEFAULT_PRESETS,
+    CheckResult,
+    evaluate,
+    run_check,
+    sweep,
+)
+from repro.guidelines.waivers import Waiver, apply_waivers, load_waivers, save_waivers
+
+__all__ = [
+    "BASELINE_PRESET",
+    "DEFAULT_PRESETS",
+    "GUIDELINES",
+    "CheckResult",
+    "Guideline",
+    "Waiver",
+    "apply_waivers",
+    "evaluate",
+    "load_waivers",
+    "run_check",
+    "save_waivers",
+    "sweep",
+]

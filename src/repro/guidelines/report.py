@@ -1,0 +1,134 @@
+"""Renderers for guideline check results: console, markdown, JSON.
+
+All three renderers consume the same deterministic
+:class:`~repro.guidelines.harness.CheckResult` list, so the JSON
+document is byte-identical however the sweep was parallelized — the
+property the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.guidelines.registry import GUIDELINES
+
+__all__ = [
+    "format_markdown",
+    "format_text",
+    "summarize",
+    "to_json_doc",
+]
+
+#: JSON document schema version
+SCHEMA_VERSION = 1
+
+_STATUS_ICON = {"pass": "ok", "violation": "VIOLATION", "crossover-shift": "shift"}
+
+
+def summarize(results: Sequence) -> dict:
+    """Counts the gate decision hangs off."""
+    return {
+        "checks": len(results),
+        "passes": sum(r.status == "pass" for r in results),
+        "violations": sum(r.status == "violation" for r in results),
+        "crossover_shifts": sum(r.status == "crossover-shift" for r in results),
+        "waived": sum(r.waived for r in results),
+        "failing": sum(r.failing for r in results),
+    }
+
+
+def to_json_doc(results: Sequence, presets: Sequence[str]) -> dict:
+    """The machine-readable report (``--json``)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "presets": list(presets),
+        "guidelines": {
+            name: {"title": g.title, "self_consistent": g.self_consistent}
+            for name, g in GUIDELINES.items()
+        },
+        "summary": summarize(results),
+        "checks": [
+            {
+                "guideline": r.guideline,
+                "preset": r.preset,
+                "scheme": r.scheme,
+                "figure": r.figure,
+                "x": r.x,
+                "status": r.status,
+                "detail": r.detail,
+                "measured": r.measured,
+                "explanation": r.explanation,
+                "waived": r.waived,
+                "waiver_reason": r.waiver_reason,
+            }
+            for r in results
+        ],
+    }
+
+
+def format_markdown(results: Sequence, presets: Sequence[str]) -> str:
+    """The job-summary table (``--markdown``)."""
+    s = summarize(results)
+    lines = [
+        "# Performance guidelines",
+        "",
+        f"**{s['checks']}** checks across presets "
+        f"`{'`, `'.join(presets)}`: "
+        f"{s['passes']} pass, {s['violations']} violations "
+        f"({s['waived']} waived), {s['crossover_shifts']} crossover-shifts "
+        f"— **{'FAIL' if s['failing'] else 'PASS'}**",
+        "",
+    ]
+    flagged = [r for r in results if r.status != "pass"]
+    if flagged:
+        lines += [
+            "| guideline | preset | scheme | x | status | cause | detail |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for r in flagged:
+            status = r.status + (" (waived)" if r.waived else "")
+            cause = (r.explanation or {}).get("moved_category") or ""
+            lines.append(
+                f"| {r.guideline} | {r.preset} | {r.scheme or ''} "
+                f"| {'' if r.x is None else r.x} | {status} | {cause} "
+                f"| {r.detail} |"
+            )
+        lines.append("")
+    waived = [r for r in flagged if r.waived and r.waiver_reason]
+    if waived:
+        lines.append("## Waiver reasons")
+        lines.append("")
+        for r in waived:
+            lines.append(f"- `{r.key()}` — {r.waiver_reason}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_text(results: Sequence, presets: Sequence[str]) -> str:
+    """Console summary: one line per non-pass check plus totals."""
+    s = summarize(results)
+    lines = []
+    for r in results:
+        if r.status == "pass":
+            continue
+        mark = _STATUS_ICON.get(r.status, r.status)
+        if r.waived:
+            mark += " (waived)"
+        cause = (r.explanation or {}).get("moved_category")
+        suffix = f"  <- {cause}" if cause else ""
+        lines.append(f"  {mark:<20} {r.key():<55} {r.detail}{suffix}")
+    header = (
+        f"guidelines: {s['checks']} checks / {len(presets)} presets -- "
+        f"{s['violations']} violations ({s['waived']} waived), "
+        f"{s['crossover_shifts']} crossover-shifts"
+    )
+    verdict = "guidelines check FAILED" if s["failing"] else "guidelines check passed"
+    return "\n".join([header] + lines + [verdict])
+
+
+def write_json(path, results: Sequence, presets: Sequence[str]) -> None:
+    doc = to_json_doc(results, presets)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,161 @@
+"""The checked-in expectations file: waiving known, explained violations.
+
+``benchmarks/guidelines.json`` records every guideline violation the
+repository *knows about and has explained* — e.g. the Generic scheme
+losing to pack-then-send on the paper's testbed, which is the paper's
+own motivating Figure 2.  The CI guidelines job fails only on
+violations **not** covered here, so a new violation (a regression, a
+preset recalibration, a protocol change) fails loudly while the
+documented status quo stays green.
+
+A waiver matches a :class:`~repro.guidelines.harness.CheckResult` by
+``fnmatch`` on each coordinate (``"*"`` wildcards), and — when its
+``category`` is pinned — only if the explainer attributed the violation
+to that cost category.  A waiver whose explanation no longer matches
+stops applying, so a violation whose *cause* moves (say, from
+descriptor cost to registration cost) resurfaces in CI even though its
+coordinates are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Waiver",
+    "apply_waivers",
+    "load_waivers",
+    "save_waivers",
+    "waivers_from_results",
+]
+
+#: bump when the waiver-file shape changes incompatibly
+SCHEMA_VERSION = 1
+
+#: default checked-in location, relative to the repo root
+DEFAULT_WAIVERS_PATH = Path("benchmarks") / "guidelines.json"
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One waived (known, explained) guideline violation."""
+
+    guideline: str = "*"
+    preset: str = "*"
+    scheme: str = "*"
+    figure: str = "*"
+    #: x coordinate as a string pattern ("*" matches any size)
+    x: str = "*"
+    #: required explainer category ("*" accepts any attribution)
+    category: str = "*"
+    reason: str = ""
+
+    def matches(self, result) -> bool:
+        """True when this waiver covers ``result``."""
+        if result.status != "violation":
+            return False
+        coords = (
+            (self.guideline, result.guideline),
+            (self.preset, result.preset),
+            (self.scheme, result.scheme or ""),
+            (self.figure, result.figure or ""),
+            (self.x, "" if result.x is None else str(result.x)),
+        )
+        if not all(fnmatchcase(value, pattern) for pattern, value in coords):
+            return False
+        if self.category != "*":
+            moved = (result.explanation or {}).get("moved_category")
+            if moved != self.category:
+                return False
+        return True
+
+
+def load_waivers(path: Union[str, Path, None] = None) -> list[Waiver]:
+    """Read the waiver file; a missing file is an empty waiver set."""
+    src = Path(path) if path is not None else DEFAULT_WAIVERS_PATH
+    try:
+        payload = json.loads(src.read_text())
+    except OSError:
+        return []
+    except ValueError as exc:
+        raise SystemExit(
+            f"guidelines: cannot parse waiver file {src}: {exc}"
+        ) from None
+    entries = payload.get("waivers", []) if isinstance(payload, dict) else []
+    waivers = []
+    fields = set(Waiver.__dataclass_fields__)
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        waivers.append(Waiver(**{k: v for k, v in entry.items() if k in fields}))
+    return waivers
+
+
+def save_waivers(
+    path: Union[str, Path], waivers: Sequence[Waiver], note: Optional[str] = None
+) -> Path:
+    """Write the waiver file (sorted, stable formatting)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "note": note
+        or (
+            "Known, explained performance-guideline violations. Each entry "
+            "waives matching violations reported by `python -m "
+            "repro.guidelines check`; remove an entry to re-arm CI for it."
+        ),
+        "waivers": [asdict(w) for w in sorted(waivers, key=_sort_key)],
+    }
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def _sort_key(w: Waiver) -> tuple:
+    return (w.guideline, w.preset, w.scheme, w.figure, w.x)
+
+
+def apply_waivers(results: Iterable, waivers: Sequence[Waiver]) -> list[Waiver]:
+    """Mark waived violations in place; returns the *unused* waivers.
+
+    Unused waivers are reported (not failed on): they usually mean a
+    violation was fixed and the expectations file deserves pruning.
+    """
+    used: set[int] = set()
+    for result in results:
+        for i, waiver in enumerate(waivers):
+            if waiver.matches(result):
+                result.waived = True
+                result.waiver_reason = waiver.reason
+                used.add(i)
+                break
+    return [w for i, w in enumerate(waivers) if i not in used]
+
+
+def waivers_from_results(results: Iterable) -> list[Waiver]:
+    """Draft one exact waiver per unwaived violation (``--write-waivers``).
+
+    Reasons are left for the committer to fill in — a waiver is a
+    *documented* exception, and the documentation is the point.
+    """
+    drafts = []
+    for r in results:
+        if r.status != "violation" or r.waived:
+            continue
+        drafts.append(
+            Waiver(
+                guideline=r.guideline,
+                preset=r.preset,
+                scheme=r.scheme or "*",
+                figure=r.figure or "*",
+                x="*" if r.x is None else str(r.x),
+                category=(r.explanation or {}).get("moved_category", "*"),
+                reason="TODO: explain why this violation is expected",
+            )
+        )
+    return drafts

@@ -37,7 +37,6 @@ from repro.ib.verbs import (
     Opcode,
     QPState,
     QueuePair,
-    RecvWR,
     SendWR,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -174,7 +173,9 @@ class Node:
         self.metrics.counter("reg.deregistrations", self.node_id).inc()
         if charge:
             start = self.sim.now
-            yield from self.cpu_work(self.cm.dereg_time(mr.length, mr.addr), "deregister")
+            yield from self.cpu_work(
+                self.cm.dereg_time(mr.length, mr.addr), "deregister"
+            )
             self.tracer.record(start, self.sim.now, self.node_id, "reg", "dereg")
 
 
@@ -264,7 +265,9 @@ class HCA:
             )
             up.succeed(delay=start_delay)
         down = self.sim.event()
-        down.callbacks.append(lambda _e: setattr(node, "dma_active", node.dma_active - 1))
+        down.callbacks.append(
+            lambda _e: setattr(node, "dma_active", node.dma_active - 1)
+        )
         down.succeed(delay=start_delay + duration)
 
     # -- fault injection / recovery ---------------------------------------
@@ -486,7 +489,9 @@ class HCA:
 
     # -- remote delivery ----------------------------------------------------
 
-    def _deliver(self, qp: QueuePair, src_qp: QueuePair, wr: SendWR, data: np.ndarray) -> None:
+    def _deliver(
+        self, qp: QueuePair, src_qp: QueuePair, wr: SendWR, data: np.ndarray
+    ) -> None:
         """Handle inbound traffic on the receiving HCA (no CPU cost)."""
         if wr.opcode is Opcode.SEND:
             recv_wr = qp._consume_recv()
@@ -524,7 +529,9 @@ class HCA:
         else:  # pragma: no cover - reads handled separately
             raise SimulationError(f"unexpected inbound opcode {wr.opcode}")
 
-    def _complete_recv(self, qp: QueuePair, recv_wr_id: int, wr: SendWR, nbytes: int) -> None:
+    def _complete_recv(
+        self, qp: QueuePair, recv_wr_id: int, wr: SendWR, nbytes: int
+    ) -> None:
         ev = self.sim.event()
         cqe = Completion(
             wr_id=recv_wr_id,
@@ -538,7 +545,9 @@ class HCA:
         ev.callbacks.append(lambda _e: qp.recv_cq.push(cqe))
         ev.succeed(delay=self.cm.cqe_delay, tag="cqe")
 
-    def _complete_local(self, qp: QueuePair, wr: SendWR, nbytes: int, delay: float) -> None:
+    def _complete_local(
+        self, qp: QueuePair, wr: SendWR, nbytes: int, delay: float
+    ) -> None:
         ev = self.sim.event()
         cqe = Completion(
             wr_id=wr.wr_id,

@@ -19,8 +19,8 @@ who pays, and when, is precisely what the paper's schemes differ on.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 

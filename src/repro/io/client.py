@@ -20,7 +20,6 @@ the only part of an operation that touches the server CPU.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.datatypes import Datatype, SegmentCursor
 from repro.datatypes.pack import pack_bytes, unpack_bytes
@@ -206,14 +205,18 @@ class IOClient:
         cur = SegmentCursor(datatype, count)
         nbytes = cur.total
         if strategy == "rdma":
-            pieces = self._view_pieces(fh, file_offset, cur, nbytes, file_dt, packed=False)
+            pieces = self._view_pieces(
+                fh, file_offset, cur, nbytes, file_dt, packed=False
+            )
             slices = cur.slices(0, nbytes)
             mrs = yield from self._register_blocks(addr, slices)
             yield from self._issue_view_ops(fh, pieces, Opcode.RDMA_WRITE,
                                             addr, mrs, bounce=None)
             yield from self._release_blocks(mrs)
         elif strategy == "pack":
-            pieces = self._view_pieces(fh, file_offset, cur, nbytes, file_dt, packed=True)
+            pieces = self._view_pieces(
+                fh, file_offset, cur, nbytes, file_dt, packed=True
+            )
             bounce = yield from self._bounce(nbytes)
             nblocks = pack_bytes(self.node.memory, addr, cur, 0, nbytes, bounce)
             yield from self.node.copy_work(nbytes, nblocks, "fio-pack")
@@ -241,14 +244,18 @@ class IOClient:
         cur = SegmentCursor(datatype, count)
         nbytes = cur.total
         if strategy == "rdma":
-            pieces = self._view_pieces(fh, file_offset, cur, nbytes, file_dt, packed=False)
+            pieces = self._view_pieces(
+                fh, file_offset, cur, nbytes, file_dt, packed=False
+            )
             slices = cur.slices(0, nbytes)
             mrs = yield from self._register_blocks(addr, slices)
             yield from self._issue_view_ops(fh, pieces, Opcode.RDMA_READ,
                                             addr, mrs, bounce=None)
             yield from self._release_blocks(mrs)
         elif strategy == "pack":
-            pieces = self._view_pieces(fh, file_offset, cur, nbytes, file_dt, packed=True)
+            pieces = self._view_pieces(
+                fh, file_offset, cur, nbytes, file_dt, packed=True
+            )
             bounce = yield from self._bounce(nbytes)
             yield from self._issue_view_ops(fh, pieces, Opcode.RDMA_READ,
                                             addr, None, bounce=bounce)

@@ -12,7 +12,6 @@ reproduces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.ib.verbs import Opcode, RecvWR, SendWR
 from repro.simulator import SimulationError

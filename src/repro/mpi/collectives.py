@@ -120,7 +120,8 @@ def allgather(ctx, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount)
         send_chunk = (ctx.rank - step) % n
         recv_chunk = (ctx.rank - step - 1) % n
         sreq = yield from ctx.isend(
-            chunk_addr(send_chunk), recvtype, recvcount, right, _ALLGATHER_TAG - 1 - step
+            chunk_addr(send_chunk), recvtype, recvcount, right,
+            _ALLGATHER_TAG - 1 - step,
         )
         rreq = yield from ctx.irecv(
             chunk_addr(recv_chunk), recvtype, recvcount, left, _ALLGATHER_TAG - 1 - step
@@ -320,7 +321,9 @@ def _alltoall_bruck(ctx, sendaddr, sendtype, sendcount, recvaddr, recvtype, recv
     ctx.node.memory.free(rscratch)
 
 
-def _alltoall_pairwise(ctx, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount):
+def _alltoall_pairwise(
+    ctx, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount
+):
     """Pairwise-irecv/isend alltoall (the MPICH medium-message algorithm).
 
     Chunk ``i`` of the send buffer goes to rank ``i``; chunk ``i`` of the

@@ -14,7 +14,7 @@ Typical use — row/column communicators of a 2-D process grid::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -123,7 +123,9 @@ class Communicator:
             self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount
         )
 
-    def gather(self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root):
+    def gather(
+        self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root
+    ):
         from repro.mpi.collectives import gather
 
         yield from gather(

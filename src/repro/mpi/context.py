@@ -39,12 +39,10 @@ from repro.mpi.messages import (
     Credit,
     EagerHeader,
     RingCredit,
-    RndvFin,
     RndvReply,
     RndvStart,
-    SegArrival,
 )
-from repro.mpi.errors import MPIError, RankError, TruncationError
+from repro.mpi.errors import RankError, TruncationError
 from repro.mpi.requests import Request
 from repro.mpi.datatype_cache import DatatypeCache, ReceiverTypeRegistry
 from repro.registration import RegistrationCache
@@ -597,14 +595,18 @@ class RankContext:
             recvaddr, recvtype, recvcounts, rdispls,
         )
 
-    def gather(self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root):
+    def gather(
+        self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root
+    ):
         from repro.mpi.collectives import gather
 
         yield from gather(
             self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root
         )
 
-    def scatter(self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root):
+    def scatter(
+        self, sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount, root
+    ):
         from repro.mpi.collectives import scatter
 
         yield from scatter(

@@ -21,7 +21,6 @@ on first use / version change, or ``("ref", index, version)`` afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.datatypes.flatten import Flattened
 

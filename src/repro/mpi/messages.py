@@ -7,8 +7,8 @@ These dataclasses ride the simulated wire as descriptor payloads; their
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Any
 
 __all__ = [
     "CTRL_HEADER_BYTES",

@@ -8,8 +8,8 @@ protocol sides need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.datatypes.base import Datatype
 from repro.datatypes.segment import SegmentCursor

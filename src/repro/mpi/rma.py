@@ -216,8 +216,6 @@ def lock(ctx, win: Window, target_rank: int, exclusive: bool = True):
     epochs serialize at the target) — correct, if pessimistic, for
     MPI_LOCK_SHARED readers.
     """
-    from repro.mpi.messages import CTRL_HEADER_BYTES
-
     ctx._msg_seq += 1
     msg_id = ctx.rank * 1_000_000 + ctx._msg_seq
     inbox = ctx.msg_inbox(msg_id)

@@ -8,7 +8,7 @@ simulated time) — and runs rank programs to completion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.ib.costmodel import MB, CostModel

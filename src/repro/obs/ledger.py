@@ -57,8 +57,8 @@ LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
 LEDGER_FILENAME = "ledger.jsonl"
 
-#: record kinds the bench layer writes
-KINDS = ("gate", "selftest", "sweep")
+#: record kinds the bench and guidelines layers write
+KINDS = ("gate", "selftest", "sweep", "guidelines")
 
 #: statuses that count as "good" for regression comparison
 GOOD_STATUSES = ("pass", "baseline")

@@ -333,17 +333,22 @@ def profile_transfer(
     *,
     count: int = 1,
     scheme_options: Optional[dict] = None,
+    cost_model=None,
 ):
     """Run one profiled 2-rank transfer of ``(dt, count)`` under ``scheme``.
 
     Returns ``(attribution, cluster)``.  The attribution walks the
     receiver's completion — end-to-end operation latency as MPI sees it.
+    ``cost_model`` selects the simulated platform (default: the paper's
+    testbed) — the guidelines checker profiles violations under the
+    preset that produced them.
     """
     from repro.ib.costmodel import MB
     from repro.mpi.world import Cluster
 
     cluster = Cluster(
         2,
+        cost_model=cost_model,
         scheme=scheme,
         scheme_options=scheme_options or {},
         memory_per_rank=512 * MB,

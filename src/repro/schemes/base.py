@@ -19,7 +19,7 @@ planner + pin-down cache.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.mpi.messages import RndvReply, RndvStart, SegArrival
 from repro.registration.ogr import plan_regions

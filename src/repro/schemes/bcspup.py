@@ -105,7 +105,9 @@ class BCSPUPScheme(DatatypeScheme):
                     rkey=dst_rkey,
                     imm=i,
                     wr_id=wr_id,
-                    payload=SegArrival(req.msg_id, i, lo, hi, last=(i == len(segs) - 1)),
+                    payload=SegArrival(
+                        req.msg_id, i, lo, hi, last=(i == len(segs) - 1)
+                    ),
                 )
             )
             # recycle the pack buffer once the HCA is done with it, without

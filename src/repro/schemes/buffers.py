@@ -98,9 +98,13 @@ class SegmentPool:
                 addr, self.segment_size, self._mr.lkey, self._mr.rkey, dynamic=False
             )
         self.dynamic_acquires += 1
-        addr = yield from self.node.malloc(self.segment_size, align=self.node.cm.page_size)
+        addr = yield from self.node.malloc(
+            self.segment_size, align=self.node.cm.page_size
+        )
         mr = yield from self.node.register(addr, self.segment_size)
-        return PoolBuffer(addr, self.segment_size, mr.lkey, mr.rkey, dynamic=True, _mr=mr)
+        return PoolBuffer(
+            addr, self.segment_size, mr.lkey, mr.rkey, dynamic=True, _mr=mr
+        )
 
     def acquire_block(self, sizes):
         """Acquire one buffer per entry of ``sizes`` (generator).
@@ -149,7 +153,8 @@ class SegmentPool:
                 yield from self.node.mfree(buf._shared.base)
             return
         if buf.dynamic:
-            if self.enabled and self.total_bytes + self.segment_size <= self.growth_limit:
+            grown = self.total_bytes + self.segment_size
+            if self.enabled and grown <= self.growth_limit:
                 self.total_bytes += self.segment_size
                 absorbed = PoolBuffer(
                     buf.addr, buf.size, buf.lkey, buf.rkey, dynamic=False, _mr=buf._mr

@@ -31,13 +31,11 @@ for every block; the hybrid takes each piece's best path.
 
 from __future__ import annotations
 
-from repro.datatypes.pack import pack_bytes
 from repro.ib.verbs import Opcode, SGE, SendWR
 from repro.mpi.messages import CTRL_HEADER_BYTES, RndvReply, SegArrival
 from repro.schemes.base import (
     DatatypeScheme,
     RegisteredUserBuffer,
-    send_rndv_start,
 )
 from repro.schemes.multiw import refine
 

@@ -106,7 +106,9 @@ class Event:
 
     # -- triggering -----------------------------------------------------
 
-    def succeed(self, value: Any = None, delay: float = 0.0, tag: Any = None) -> "Event":
+    def succeed(
+        self, value: Any = None, delay: float = 0.0, tag: Any = None
+    ) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``.
 
         ``tag`` labels the delay for critical-path attribution (ignored —

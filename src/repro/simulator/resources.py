@@ -22,7 +22,7 @@ queue-depth samples.  Without a profiler nothing is recorded.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from repro.simulator.engine import Event, SimulationError, Simulator
 

@@ -153,7 +153,9 @@ class Tracer:
 
     # -- analysis helpers ---------------------------------------------------
 
-    def iter_category(self, category: str, node: Optional[int] = None) -> Iterator[TraceRecord]:
+    def iter_category(
+        self, category: str, node: Optional[int] = None
+    ) -> Iterator[TraceRecord]:
         for rec in self.records:
             if rec.category == category and (node is None or rec.node == node):
                 yield rec
@@ -193,7 +195,9 @@ class Tracer:
     def summary(self, node: Optional[int] = None) -> dict:
         """Per-category totals: {category: {"total": .., "busy": ..,
         "count": ..}} for one node (or all)."""
-        cats = sorted({r.category for r in self.records if node is None or r.node == node})
+        cats = sorted(
+            {r.category for r in self.records if node is None or r.node == node}
+        )
         return {
             cat: {
                 "total": self.total_time(cat, node),

@@ -1,0 +1,37 @@
+"""Guidelines-test fixtures: isolate sweeps from checked-in artifacts.
+
+Same rationale as ``tests/bench/conftest.py``: the guidelines harness
+runs through the cached sweep runner, which writes relative
+``results/...`` paths and a ``.repro-cache/`` cell cache.  Tests must
+never read or populate the developer's real copies of either.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def guidelines_results_dir(tmp_path_factory):
+    """Redirect relative results/ paths into a temp dir for the session."""
+    d = tmp_path_factory.mktemp("guidelines-results")
+    old = os.environ.get("REPRO_RESULTS_DIR")
+    os.environ["REPRO_RESULTS_DIR"] = str(d)
+    yield d
+    if old is None:
+        os.environ.pop("REPRO_RESULTS_DIR", None)
+    else:
+        os.environ["REPRO_RESULTS_DIR"] = old
+
+
+@pytest.fixture(autouse=True, scope="session")
+def guidelines_cache_dir(tmp_path_factory):
+    """Point the sweep result cache away from the repo's .repro-cache/."""
+    d = tmp_path_factory.mktemp("guidelines-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(d)
+    yield d
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

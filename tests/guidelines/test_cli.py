@@ -1,0 +1,117 @@
+"""CLI and renderer units that need no sweep."""
+
+import json
+
+import pytest
+
+from repro.guidelines import __main__ as cli
+from repro.guidelines import report
+from repro.guidelines.harness import CheckResult, DEFAULT_PRESETS
+
+
+def _results():
+    ok = CheckResult(
+        guideline="count-monotonic",
+        preset="mellanox_2003",
+        status="pass",
+        scheme="bc-spup",
+        figure="fig08",
+    )
+    bad = CheckResult(
+        guideline="datatype-vs-manual",
+        preset="hdr_ib_2020",
+        status="violation",
+        scheme="multi-w",
+        figure="fig08",
+        x=64,
+        detail="datatype 64.1us vs manual 38.5us",
+        explanation={"moved_category": "registration"},
+    )
+    waived = CheckResult(
+        guideline="datatype-vs-manual",
+        preset="mellanox_2003",
+        status="violation",
+        scheme="generic",
+        figure="fig08",
+        x=64,
+        detail="datatype 245.3us vs manual 229.7us",
+        explanation={"moved_category": "copy"},
+        waived=True,
+        waiver_reason="the paper's Figure 2 motivation",
+    )
+    shift = CheckResult(
+        guideline="scheme-dominance",
+        preset="gpu_kernel_pack",
+        status="crossover-shift",
+        scheme="rwg-up",
+        figure="fig09",
+        x=512,
+        detail="fastest scheme moved",
+    )
+    return [ok, bad, waived, shift]
+
+
+class TestRenderers:
+    def test_summarize_counts(self):
+        s = report.summarize(_results())
+        assert s == {
+            "checks": 4,
+            "passes": 1,
+            "violations": 2,
+            "crossover_shifts": 1,
+            "waived": 1,
+            "failing": 1,
+        }
+
+    def test_markdown_table_and_waiver_section(self):
+        md = report.format_markdown(_results(), ["mellanox_2003"])
+        assert "**FAIL**" in md
+        assert "| datatype-vs-manual | hdr_ib_2020 | multi-w | 64 |" in md
+        assert "registration" in md  # the cause column
+        assert "violation (waived)" in md
+        assert "## Waiver reasons" in md
+        assert "the paper's Figure 2 motivation" in md
+        # passes stay out of the table
+        assert "bc-spup" not in md
+
+    def test_markdown_all_pass(self):
+        ok = _results()[0]
+        md = report.format_markdown([ok], ["mellanox_2003"])
+        assert "**PASS**" in md
+        assert "|" not in md.replace("**", "")  # no table at all
+
+    def test_text_verdict(self):
+        txt = report.format_text(_results(), ["mellanox_2003"])
+        assert "guidelines check FAILED" in txt
+        assert "<- registration" in txt
+        ok_only = report.format_text([_results()[0]], ["mellanox_2003"])
+        assert "guidelines check passed" in ok_only
+
+    def test_json_doc_roundtrips(self, tmp_path):
+        path = tmp_path / "doc.json"
+        report.write_json(path, _results(), ["mellanox_2003"])
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == report.SCHEMA_VERSION
+        assert doc["summary"]["failing"] == 1
+        assert len(doc["checks"]) == 4
+
+
+class TestCLI:
+    def test_presets_subcommand_lists_lineup(self, capsys):
+        assert cli.main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in DEFAULT_PRESETS:
+            assert name in out
+        # provenance lines ride along
+        assert "Mellanox" in out or "2003" in out
+
+    def test_check_defaults(self):
+        args = cli.build_parser().parse_args(["check"])
+        assert args.presets is None
+        assert args.jobs is None
+        assert not args.no_cache
+        assert not args.no_explain
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])

@@ -1,0 +1,136 @@
+"""Units for the guideline catalogue and the cost-model preset registry."""
+
+import pytest
+
+from repro.bench.parallel import Cell, cell_key
+from repro.guidelines.registry import GUIDELINES, Guideline, guideline
+from repro.ib.costmodel import (
+    PRESETS,
+    CostModel,
+    get_preset,
+    preset_names,
+    preset_provenance,
+    register_preset,
+)
+
+
+class TestGuidelineCatalogue:
+    def test_expected_guidelines_present(self):
+        assert set(GUIDELINES) >= {
+            "datatype-vs-manual",
+            "count-monotonic",
+            "scheme-dominance",
+            "eager-rendezvous-crossover",
+        }
+
+    def test_entries_are_keyed_by_their_own_name(self):
+        for name, g in GUIDELINES.items():
+            assert g.name == name
+            assert g.title
+            assert g.description
+
+    def test_self_consistency_split(self):
+        # Traff/Gropp/Thakur self-consistent rules must hold on *any*
+        # platform; scheme-dominance is a paper expectation (baseline only)
+        assert GUIDELINES["datatype-vs-manual"].self_consistent
+        assert GUIDELINES["count-monotonic"].self_consistent
+        assert GUIDELINES["eager-rendezvous-crossover"].self_consistent
+        assert not GUIDELINES["scheme-dominance"].self_consistent
+
+    def test_lookup(self):
+        assert guideline("count-monotonic") is GUIDELINES["count-monotonic"]
+        with pytest.raises(KeyError):
+            guideline("no-such-guideline")
+
+    def test_guideline_is_immutable(self):
+        g = guideline("datatype-vs-manual")
+        with pytest.raises(Exception):
+            g.tolerance = 1.0
+
+    def test_tolerances_are_sane(self):
+        for g in GUIDELINES.values():
+            assert isinstance(g, Guideline)
+            assert 0.0 <= g.tolerance < 0.5
+            assert g.slack_us >= 0.0
+
+
+class TestPresetRegistry:
+    def test_default_lineup_registered(self):
+        names = preset_names()
+        for expected in (
+            "mellanox_2003",
+            "hdr_ib_2020",
+            "ndr_ib_2023",
+            "shared_memory_node",
+            "gpu_kernel_pack",
+        ):
+            assert expected in names
+
+    def test_get_preset_instantiates(self):
+        cm = get_preset("hdr_ib_2020")
+        assert isinstance(cm, CostModel)
+        # fresh instance per call (factories, not singletons)
+        assert get_preset("hdr_ib_2020") == cm
+
+    def test_unknown_preset_names_choices(self):
+        with pytest.raises(KeyError, match="mellanox_2003"):
+            get_preset("infiniband_2099")
+
+    def test_every_preset_has_provenance(self):
+        for name in preset_names():
+            assert preset_provenance(name), f"{name} lacks a provenance line"
+
+    def test_register_preset_roundtrip(self):
+        name = "test-registry-roundtrip"
+        try:
+            register_preset(
+                name, lambda: get_preset("mellanox_2003").with_overrides()
+            )
+            assert name in preset_names()
+            assert isinstance(get_preset(name), CostModel)
+        finally:
+            PRESETS.pop(name, None)
+
+    def test_preset_eras_are_ordered(self):
+        """Newer fabrics must actually be faster in the model."""
+        old = get_preset("mellanox_2003")
+        hdr = get_preset("hdr_ib_2020")
+        ndr = get_preset("ndr_ib_2023")
+        assert hdr.wire_bandwidth > old.wire_bandwidth
+        assert ndr.wire_bandwidth > hdr.wire_bandwidth
+        assert ndr.wire_latency <= hdr.wire_latency <= old.wire_latency
+
+    def test_gpu_preset_models_kernel_launch_in_dt_startup(self):
+        """TEMPI packs all blocks in one kernel: the launch cost must be
+        charged per pack invocation (dt_startup), not per block."""
+        gpu = get_preset("gpu_kernel_pack")
+        host = get_preset("mellanox_2003")
+        assert gpu.dt_startup > host.dt_startup
+        assert gpu.copy_startup < 1.0  # per-block cost stays tiny
+        assert gpu.copy_bandwidth > host.copy_bandwidth  # HBM vs DDR
+
+
+class TestCacheKeyPresetAwareness:
+    def test_cache_key_differs_across_presets(self):
+        a = cell_key(Cell("fig08", "bc-spup", 64, (("preset", "mellanox_2003"),)))
+        b = cell_key(Cell("fig08", "bc-spup", 64, (("preset", "hdr_ib_2020"),)))
+        assert a != b
+
+    def test_cache_key_stable_for_same_preset(self):
+        cell = Cell("fig08", "bc-spup", 64, (("preset", "ndr_ib_2023"),))
+        assert cell_key(cell) == cell_key(cell)
+
+    def test_cache_key_tracks_preset_parameters(self):
+        """Recalibrating a registered preset must invalidate its cells."""
+        name = "test-cache-key-recal"
+        base = get_preset("mellanox_2003")
+        try:
+            register_preset(name, lambda: base)
+            before = cell_key(Cell("fig08", "bc-spup", 64, (("preset", name),)))
+            register_preset(
+                name, lambda: base.with_overrides(wire_latency=99.0)
+            )
+            after = cell_key(Cell("fig08", "bc-spup", 64, (("preset", name),)))
+            assert before != after
+        finally:
+            PRESETS.pop(name, None)

@@ -1,0 +1,113 @@
+"""End-to-end: an engineered platform must trip the checker, and the
+explainer must attribute the violation to the cost category that moved.
+
+The synthetic preset is mellanox_2003 with descriptor posting made
+pathologically expensive.  Multi-W posts one RDMA descriptor per
+contiguous block, so a 64-column vector pays 64x the inflated cost while
+manual pack-then-send posts a handful — a guaranteed
+datatype-vs-manual violation whose cause is, by construction,
+``descriptor``.  Runtime-registered presets are invisible to sweep
+worker processes, so everything here runs with ``jobs=1``.
+"""
+
+import pytest
+
+from repro.guidelines import harness
+from repro.guidelines.waivers import Waiver, apply_waivers
+from repro.ib.costmodel import PRESETS, get_preset, register_preset
+
+PRESET = "test-hot-descriptor"
+SCHEMES = ("generic", "multi-w")
+LAT_COLS = (64,)
+BW_COLS = (64,)
+
+
+@pytest.fixture(scope="module")
+def engineered_results():
+    base = get_preset("mellanox_2003")
+    register_preset(
+        PRESET,
+        lambda: base.with_overrides(
+            post_descriptor=60.0,
+            post_list_first=60.0,
+            post_list_extra=60.0,
+        ),
+    )
+    try:
+        yield harness.run_check(
+            presets=(PRESET,),
+            schemes=SCHEMES,
+            lat_cols=LAT_COLS,
+            bw_cols=BW_COLS,
+            jobs=1,
+        )
+    finally:
+        PRESETS.pop(PRESET, None)
+
+
+def _violation(results):
+    hits = [
+        r
+        for r in results
+        if r.guideline == "datatype-vs-manual"
+        and r.scheme == "multi-w"
+        and r.status == "violation"
+    ]
+    assert hits, "engineered preset failed to trip datatype-vs-manual"
+    return hits[0]
+
+
+def test_checker_flags_engineered_violation(engineered_results):
+    v = _violation(engineered_results)
+    assert v.preset == PRESET
+    assert v.figure == "fig08"
+    assert v.x == 64
+    assert v.failing
+    assert v.measured["latency_us"] > v.measured["manual_us"]
+
+
+def test_explainer_names_the_moved_category(engineered_results):
+    v = _violation(engineered_results)
+    assert v.explanation is not None
+    assert v.explanation["moved_category"] == "descriptor"
+    assert "[explained: descriptor moved]" in v.detail
+    # shares form a distribution over the profiler categories
+    shares = v.explanation["shares"]
+    assert shares["descriptor"] == max(shares.values())
+    assert sum(shares.values()) <= 1.0 + 1e-6
+
+
+def test_category_pinned_waiver_tracks_the_cause(engineered_results):
+    v = _violation(engineered_results)
+    v.waived = False
+    v.waiver_reason = ""
+
+    # a waiver pinned to the *wrong* category must not silence it
+    unused = apply_waivers(
+        [v], [Waiver(guideline="datatype-vs-manual", category="copy")]
+    )
+    assert not v.waived
+    assert len(unused) == 1
+
+    # pinned to the explained category, it applies
+    unused = apply_waivers(
+        [v],
+        [
+            Waiver(
+                guideline="datatype-vs-manual",
+                category="descriptor",
+                reason="engineered: descriptor cost inflated on purpose",
+            )
+        ],
+    )
+    assert v.waived
+    assert not v.failing
+    assert not unused
+
+
+def test_non_violating_scheme_checks_still_emitted(engineered_results):
+    """The grid covers every (guideline x scheme) cell, pass or not."""
+    keys = {(r.guideline, r.scheme) for r in engineered_results}
+    assert ("count-monotonic", "generic") in keys
+    assert ("count-monotonic", "multi-w") in keys
+    assert ("eager-rendezvous-crossover", "bc-spup") in keys

@@ -1,0 +1,155 @@
+"""Units for the waiver (expectations) file: matching, round-trip, drafts."""
+
+import json
+
+import pytest
+
+from repro.guidelines.harness import CheckResult
+from repro.guidelines.waivers import (
+    SCHEMA_VERSION,
+    Waiver,
+    apply_waivers,
+    load_waivers,
+    save_waivers,
+    waivers_from_results,
+)
+
+
+def _violation(**kw):
+    base = dict(
+        guideline="datatype-vs-manual",
+        preset="hdr_ib_2020",
+        status="violation",
+        scheme="multi-w",
+        figure="fig08",
+        x=64,
+        explanation={"moved_category": "registration"},
+    )
+    base.update(kw)
+    return CheckResult(**base)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        w = Waiver(
+            guideline="datatype-vs-manual",
+            preset="hdr_ib_2020",
+            scheme="multi-w",
+            figure="fig08",
+            x="64",
+        )
+        assert w.matches(_violation())
+
+    def test_wildcards_match_any_coordinate(self):
+        assert Waiver().matches(_violation())
+        assert Waiver(preset="*", x="*").matches(_violation())
+
+    def test_coordinate_mismatch(self):
+        assert not Waiver(scheme="generic").matches(_violation())
+        assert not Waiver(x="512").matches(_violation())
+
+    def test_glob_patterns(self):
+        assert Waiver(preset="hdr_*").matches(_violation())
+        assert Waiver(guideline="datatype-*").matches(_violation())
+
+    def test_only_violations_match(self):
+        assert not Waiver().matches(_violation(status="pass"))
+        assert not Waiver().matches(_violation(status="crossover-shift"))
+
+    def test_category_pin_requires_explained_cause(self):
+        pinned = Waiver(category="registration")
+        assert pinned.matches(_violation())
+        # cause moved -> the waiver stops applying
+        assert not pinned.matches(
+            _violation(explanation={"moved_category": "copy"})
+        )
+        # unexplained violation -> a pinned waiver cannot apply
+        assert not pinned.matches(_violation(explanation=None))
+
+
+class TestApply:
+    def test_apply_marks_in_place_and_reports_unused(self):
+        hit = _violation()
+        miss = _violation(preset="ndr_ib_2023")
+        used = Waiver(preset="hdr_ib_2020", reason="known on HDR")
+        dangling = Waiver(preset="shared_memory_node")
+        unused = apply_waivers([hit, miss], [used, dangling])
+        assert hit.waived and hit.waiver_reason == "known on HDR"
+        assert not hit.failing
+        assert not miss.waived and miss.failing
+        assert unused == [dangling]
+
+    def test_first_matching_waiver_wins(self):
+        r = _violation()
+        first = Waiver(reason="first")
+        second = Waiver(reason="second")
+        apply_waivers([r], [first, second])
+        assert r.waiver_reason == "first"
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "guidelines.json"
+        waivers = [
+            Waiver(
+                guideline="count-monotonic",
+                preset="ndr_ib_2023",
+                scheme="p-rrs",
+                x="64",
+                reason="pipeline fill effect",
+            ),
+            Waiver(guideline="datatype-vs-manual", category="registration"),
+        ]
+        save_waivers(path, waivers)
+        loaded = load_waivers(path)
+        assert sorted(loaded, key=repr) == sorted(waivers, key=repr)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["note"]
+
+    def test_save_is_deterministic(self, tmp_path):
+        ws = [Waiver(guideline="b"), Waiver(guideline="a")]
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        save_waivers(a, ws)
+        save_waivers(b, list(reversed(ws)))
+        assert a.read_text() == b.read_text()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_waivers(tmp_path / "absent.json") == []
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot parse"):
+            load_waivers(path)
+
+    def test_unknown_fields_ignored_for_forward_compat(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "waivers": [
+                        {"guideline": "count-monotonic", "added_by": "v99"}
+                    ],
+                }
+            )
+        )
+        (w,) = load_waivers(path)
+        assert w.guideline == "count-monotonic"
+
+
+class TestDrafts:
+    def test_drafts_cover_exactly_the_unwaived_violations(self):
+        waived = _violation()
+        waived.waived = True
+        fresh = _violation(preset="ndr_ib_2023")
+        passed = _violation(status="pass")
+        drafts = waivers_from_results([waived, fresh, passed])
+        assert len(drafts) == 1
+        (d,) = drafts
+        assert d.preset == "ndr_ib_2023"
+        assert d.x == "64"
+        assert d.category == "registration"
+        assert "TODO" in d.reason
