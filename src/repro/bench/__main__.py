@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench fig08 --cols 64 2048 # restricted sweep
     python -m repro.bench overlap              # Figure-3 overlap analysis
     python -m repro.bench selftest             # events/sec + wall-clock report
+    python -m repro.bench selftest --repeats 5 --json report.json
 
 Tables print to stdout; CSVs land in ``results/``.  Figure sweeps run
 through the parallel executor (``-j``/``$REPRO_BENCH_JOBS`` workers) and
@@ -74,7 +75,8 @@ def _append_sweep_record(target: str, result) -> None:
 
 
 def _append_selftest_record(report: dict) -> None:
-    """Ledger one selftest run: engine events/sec + sweep throughput."""
+    """Ledger one selftest run: engine events/sec + host-time ns/event
+    per category + sweep throughput."""
     from repro.obs import ledger
 
     metrics = {
@@ -82,6 +84,11 @@ def _append_selftest_record(report: dict) -> None:
             "value": m["cells_per_sec"], "unit": "cells/s", "better": "higher",
         }
         for fig, m in report.get("figures", {}).items()
+    }
+    host = {
+        name: m["host"]
+        for name, m in report.get("engine", {}).items()
+        if "host" in m
     }
     record = ledger.make_record(
         "selftest",
@@ -92,6 +99,7 @@ def _append_selftest_record(report: dict) -> None:
             name: m["events_per_sec"]
             for name, m in report.get("engine", {}).items()
         },
+        host_profile=host or None,
         extra={"jobs": report.get("jobs")},
     )
     ledger.append_record(record)
@@ -157,6 +165,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not append run records to results/ledger/",
     )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="selftest only: best-of-N engine microbenchmark runs "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="selftest only: also write the full report as JSON to PATH",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None:
         parallel.set_jobs(args.jobs)
@@ -176,10 +198,21 @@ def main(argv=None) -> int:
             _run_overlap()
             continue
         if target == "selftest":
+            import json
+
             from repro.bench.selftest import format_selftest, run_selftest
 
-            selftest = run_selftest(jobs=args.jobs)
+            selftest = run_selftest(jobs=args.jobs, repeats=args.repeats)
             print(format_selftest(selftest))
+            if args.json is not None:
+                from pathlib import Path
+
+                out = Path(args.json)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(
+                    json.dumps(selftest, indent=2, sort_keys=True) + "\n"
+                )
+                print(f"\nwrote selftest report {out}")
             if not args.no_ledger:
                 _append_selftest_record(selftest)
             continue

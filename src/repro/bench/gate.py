@@ -18,12 +18,15 @@ different experiment (see ``docs/FAULTS.md``).
 
 Every gate run appends one record to the append-only run ledger
 (``results/ledger/ledger.jsonl``; see docs/OBSERVABILITY.md) carrying
-the metric values, engine events/sec, and the critical-path profiler's
-per-category attribution for every cell.  On failure the **regression
-explainer** (:mod:`repro.obs.regress`) diffs the fresh attribution
-against the ledger's last-good record and names which category moved
-(copy / wire / descriptor / registration / resource-wait /
-protocol-wait) and by how much.
+the metric values, engine events/sec, the host-time profiler's
+per-category ns/event for the engine benchmarks, and the critical-path
+profiler's per-category attribution for every cell.  On failure the
+**regression explainer** (:mod:`repro.obs.regress`) diffs the fresh
+attribution against the ledger's last-good record and names which
+category moved (copy / wire / descriptor / registration /
+resource-wait / protocol-wait for simulated cells; heap / dispatch /
+callback / pack-unpack host categories for the wall-clock ``engine/*``
+metrics) and by how much.
 
 Usage::
 
@@ -114,7 +117,7 @@ def collect(jobs: int | None = None, engine: bool = True) -> dict:
     if engine:
         from repro.bench.selftest import engine_microbench
 
-        eng = engine_microbench(repeats=ENGINE_REPEATS)
+        eng = engine_microbench(repeats=ENGINE_REPEATS, host_profile=True)
         report["engine"] = eng
         for name, m in eng.items():
             metrics[f"engine/{name}/events_per_sec"] = {
@@ -122,6 +125,11 @@ def collect(jobs: int | None = None, engine: bool = True) -> dict:
                 "unit": "ev/s", "better": "higher",
                 "tolerance": ENGINE_TOLERANCE,
             }
+        # host-time attribution of the same runs: recorded in the ledger
+        # so an engine/* failure can name the host category that moved
+        host = {name: m["host"] for name, m in eng.items() if "host" in m}
+        if host:
+            report["host_profile"] = host
     return report
 
 
@@ -274,6 +282,7 @@ def _append_ledger_record(
         metrics=report["metrics"],
         attribution=attribution,
         events_per_sec=events or None,
+        host_profile=report.get("host_profile"),
         extra={"out": str(out_path)} if out_path else None,
     )
     path = ledger_mod.append_record(record, ledger_file)
@@ -407,7 +416,10 @@ def main(argv=None) -> int:
             )
 
             explanations = explain_regressions(
-                regressed_keys(failures), attribution, prev_good
+                regressed_keys(failures),
+                attribution,
+                prev_good,
+                host_now=report.get("host_profile"),
             )
             explanation = format_regressions(explanations, prev_good)
             print("", file=sys.stderr)

@@ -5,12 +5,21 @@ space; the *time* cost (datatype processing + copy) is charged by the
 caller via :meth:`repro.ib.costmodel.CostModel.pack_time`, because when
 the cost is paid — and whether it overlaps the wire — is the whole point
 of the paper's schemes.
+
+The *host* cost of this byte movement is the one exception: when a
+host-time profiler is active (:data:`repro.obs.hostprof.ACTIVE`, set by
+the engine's profiled run loop), each call times itself and reports to
+the ``pack-unpack`` host category.  With no active profiler the probe is
+a single None check and the fast path is untouched.
 """
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from repro.datatypes.segment import SegmentCursor
 from repro.ib.memory import NodeMemory
+from repro.obs import hostprof as _hostprof
 
 __all__ = ["pack_bytes", "unpack_bytes"]
 
@@ -28,8 +37,15 @@ def pack_bytes(
 
     Returns the number of memory blocks visited (for cost accounting).
     """
+    hp = _hostprof.ACTIVE
+    if hp is None:
+        slices = cursor.slices(lo, hi)
+        memory.gather_blocks(base_addr, slices, dest_addr)
+        return len(slices)
+    t0 = perf_counter_ns()
     slices = cursor.slices(lo, hi)
     memory.gather_blocks(base_addr, slices, dest_addr)
+    hp.add_nested("pack-unpack", perf_counter_ns() - t0)
     return len(slices)
 
 
@@ -46,6 +62,13 @@ def unpack_bytes(
 
     Returns the number of memory blocks visited.
     """
+    hp = _hostprof.ACTIVE
+    if hp is None:
+        slices = cursor.slices(lo, hi)
+        memory.scatter_blocks(base_addr, slices, src_addr)
+        return len(slices)
+    t0 = perf_counter_ns()
     slices = cursor.slices(lo, hi)
     memory.scatter_blocks(base_addr, slices, src_addr)
+    hp.add_nested("pack-unpack", perf_counter_ns() - t0)
     return len(slices)

@@ -1,13 +1,16 @@
-"""CLI: ``python -m repro.obs {report,profile,trends} [options]``.
+"""CLI: ``python -m repro.obs {report,profile,hostprof,trends}``.
 
 ``report`` prints the per-scheme time breakdown table (``--format json``
 for the machine-readable document) and optionally exports Chrome trace
 JSON and a metrics CSV snapshot.  ``profile`` runs the critical-path
 profiler: a ranked bottleneck table per scheme, the cost-model
 explanation (predicted vs simulated per category), and an annotated
-Chrome trace with resource counter tracks.  ``trends`` renders the
-append-only run ledger as per-metric trajectory tables with sparklines
-and can emit a self-contained offline HTML dashboard.
+Chrome trace with resource counter tracks.  ``hostprof`` runs the
+host-time profiler: ranked ns/event hotspot tables per scheme,
+collapsed stacks for flamegraphs, host-time counter tracks in the
+Chrome trace, and an optional cProfile deep mode.  ``trends`` renders
+the append-only run ledger as per-metric trajectory tables with
+sparklines and can emit a self-contained offline HTML dashboard.
 """
 
 from __future__ import annotations
@@ -95,6 +98,78 @@ def build_parser() -> argparse.ArgumentParser:
             "tracks) per scheme to PREFIX.<scheme>.<size>.json"
         ),
     )
+    host = sub.add_parser(
+        "hostprof",
+        help="host-time attribution: where engine wall-clock ns/event go",
+    )
+    host.add_argument(
+        "workload",
+        choices=("fig02", "fig08", "fig09", "fig11"),
+        help="figure workload supplying the datatype",
+    )
+    host.add_argument(
+        "schemes",
+        nargs="*",
+        default=[],
+        help="schemes to host-profile (default: all)",
+    )
+    host.add_argument(
+        "--size",
+        type=int,
+        default=65536,
+        help="target message size in bytes (default: 65536)",
+    )
+    host.add_argument(
+        "--iters",
+        type=int,
+        default=4,
+        help="transfers per scheme (amortizes cold caches; default: 4)",
+    )
+    host.add_argument(
+        "--deep",
+        action="store_true",
+        help="also print a function-level cProfile listing per scheme",
+    )
+    host.add_argument(
+        "--chrome-trace",
+        metavar="PREFIX",
+        default=None,
+        help=(
+            "write a Chrome trace with host-time counter tracks per "
+            "scheme to PREFIX.<scheme>.<size>.json"
+        ),
+    )
+    host.add_argument(
+        "--collapsed",
+        metavar="PREFIX",
+        default=None,
+        help=(
+            "write collapsed stacks for flamegraph.pl / speedscope to "
+            "PREFIX.<scheme>.collapsed"
+        ),
+    )
+    host.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write all snapshots as one JSON document",
+    )
+    host.add_argument(
+        "--markdown",
+        metavar="PATH",
+        default=None,
+        help="write a markdown top-3 summary (the CI step-summary table)",
+    )
+    host.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write the full CI bundle (hotspots.txt, stacks, traces, "
+            "hostprof.json, summary.md) under DIR; overrides the other "
+            "output options"
+        ),
+    )
     trd = sub.add_parser(
         "trends",
         help="per-metric trajectories over the run ledger (+ dashboard)",
@@ -159,6 +234,30 @@ def main(argv=None) -> int:
             schemes=args.schemes or None,
             chrome_out=args.chrome_trace,
         )
+        return 0
+    if args.command == "hostprof":
+        from repro.obs.hostprof import run_hostprof, write_artifacts
+
+        if args.artifacts:
+            write_artifacts(
+                args.artifacts,
+                workload=args.workload,
+                nbytes=args.size,
+                schemes=args.schemes or None,
+                iters=args.iters,
+            )
+        else:
+            run_hostprof(
+                workload=args.workload,
+                nbytes=args.size,
+                schemes=args.schemes or None,
+                iters=args.iters,
+                chrome_out=args.chrome_trace,
+                collapsed_out=args.collapsed,
+                json_out=args.json,
+                markdown_out=args.markdown,
+                deep=args.deep,
+            )
         return 0
     return 2  # pragma: no cover
 

@@ -1,0 +1,711 @@
+"""Host-time profiler: explain every nanosecond of engine wall-clock.
+
+The critical-path profiler (:mod:`repro.obs.profile`) explains where
+*simulated* microseconds go; this module explains where *host*
+nanoseconds go while the engine produces them — the number the selftest
+otherwise reduces to one opaque events/sec figure.  The engine's
+host-profiled run loop (:meth:`repro.simulator.engine.Simulator.run`
+with :attr:`~repro.simulator.engine.Simulator.host_profiler` attached)
+chains ns-clock timestamps through instrumented dispatches and feeds
+them here, attributing wall-clock to a fixed host-category taxonomy
+(:data:`HOST_CATEGORIES`):
+
+``heap``
+    event-heap operations: every pop in the run loop and every push in
+    ``Simulator._schedule``.
+``dispatch``
+    per-event engine bookkeeping between the pop and the callback body
+    (cancelled-skip, clock/provenance updates, category lookup).
+``callback.<cat>``
+    the event-callback body — scheme generators, protocol handlers,
+    HCA/fabric machinery — split by the dispatched event's attribution
+    tag using the *same* copy / wire / descriptor / registration /
+    resource-wait / protocol-wait categories the critical-path profiler
+    uses for simulated time, minus any nested time accounted below.
+``pack-unpack``
+    byte movement through the datatype engine
+    (:func:`repro.datatypes.pack.pack_bytes` /
+    :func:`~repro.datatypes.pack.unpack_bytes`), probed at the source.
+``observability``
+    metrics-registry lookups (via :class:`TimedMetrics`) and tracer
+    record/span bookkeeping (via
+    :class:`repro.simulator.trace.TimedTracer`).
+``profiler-self``
+    the profiler's own accounting: the inter-dispatch gaps where the
+    run loop updates its accumulators and samples counter series.
+
+Because consecutive timestamps share their boundary, the categories tile
+the run-loop wall time; :meth:`HostProfiler.closure` is the measured
+fraction actually attributed (tests assert >= 95% on all seven schemes).
+Clock reads are costly enough to distort the number being measured, so
+the loop *duty-cycles* (:data:`DEFAULT_DUTY`): bursts of fully
+instrumented dispatches alternate with stretches run through the plain
+dispatch body whose wall time — one clock read each — lands in an
+``unsampled`` pool, apportioned pro-rata over the measured categories at
+reporting time.  Closure stays exact; overhead scales with the duty
+fraction (<= 15% is asserted by the bench selftest).
+Everything here is pure aggregation over an *injected* ns clock — this
+package never reads the host clock itself (``tests/obs/test_no_wallclock
+.py``); the clock calls live in the engine, ``repro.mpi.world`` and the
+bench layer.
+
+Outputs: a ranked ns/event hotspot table (:func:`format_hotspots`),
+collapsed-stack text for flamegraph.pl / speedscope
+(:meth:`HostProfiler.collapsed`), cumulative host-time counter tracks
+for the Chrome trace (:attr:`HostProfiler.series`), and an optional
+cProfile deep mode (:func:`run_hostprof` ``deep=True``).  The ``python
+-m repro.obs hostprof`` CLI drives all of them; the selftest and bench
+gate record :meth:`HostProfiler.ns_per_event` into the run ledger so
+``obs trends`` charts host-category trajectories and ``obs regress``
+can name the host category that moved when engine throughput regresses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.obs.profile import categorize
+
+__all__ = [
+    "HOST_CATEGORIES",
+    "CALLBACK_CATEGORIES",
+    "HostProfiler",
+    "TimedMetrics",
+    "format_hotspots",
+    "host_category",
+    "hostprof_markdown",
+    "hostprof_transfer",
+    "run_hostprof",
+    "write_artifacts",
+]
+
+#: the simulated-time categories a callback body can be tagged with
+#: (mirrors :data:`repro.obs.profile.CATEGORIES`)
+CALLBACK_CATEGORIES = (
+    "copy",
+    "wire",
+    "descriptor",
+    "registration",
+    "resource-wait",
+    "protocol-wait",
+)
+
+#: the host-time taxonomy, in report order
+HOST_CATEGORIES = (
+    "heap",
+    "dispatch",
+    *(f"callback.{c}" for c in CALLBACK_CATEGORIES),
+    "pack-unpack",
+    "observability",
+    "profiler-self",
+)
+
+#: events between counter-series samples in the profiled run loop
+DEFAULT_SAMPLE_EVERY = 32
+
+#: default duty cycle (instrumented dispatches, plain dispatches) of the
+#: profiled run loop.  Reading the ns clock is not free (hundreds of ns
+#: on virtualized hosts), so the loop alternates fully-instrumented
+#: bursts with stretches run through the plain dispatch body; each
+#: stretch's wall time is measured with a single clock read and
+#: apportioned pro-rata over the measured categories at reporting time
+#: (closure stays exact by construction).  ``(n, 0)`` instruments every
+#: dispatch — what the attribution tests use.  The default 1-in-8 duty
+#: keeps instrumented-mode overhead well under the 15% budget.
+DEFAULT_DUTY = (8, 56)
+
+#: currently running profiler (set by the engine's profiled run loop);
+#: the pack/unpack probes in ``repro.datatypes.pack`` check this and do
+#: no timing work at all while it is None
+ACTIVE: Optional["HostProfiler"] = None
+
+
+def host_category(tag: Any) -> str:
+    """Map an event's attribution tag to a callback category.
+
+    String tags reuse :func:`repro.obs.profile.categorize`; the tuple
+    tags the synchronization primitives schedule with (resource grants,
+    store/signal waits, split timeouts) are resolved to the category
+    their host-side callback work belongs to.
+    """
+    if isinstance(tag, tuple) and tag:
+        kind = tag[0]
+        if kind == "resource-wait":
+            return "resource-wait"
+        if kind in ("store-wait", "signal-wait"):
+            return "protocol-wait"
+        if kind == "split":
+            # one timeout covering several simulated phases: host-wise
+            # the callback is one body; bill it to the absorbing part
+            parts = tag[1]
+            for cat, dur in parts:
+                if dur is None and cat in CALLBACK_CATEGORIES:
+                    return cat
+            if parts and parts[0][0] in CALLBACK_CATEGORIES:
+                return parts[0][0]
+        return "protocol-wait"
+    return categorize(tag)
+
+
+class HostProfiler:
+    """Accumulates host-nanosecond attribution for one simulator.
+
+    Constructed by :class:`repro.mpi.world.Cluster` when built with
+    ``host_profile=True`` (or ``$REPRO_HOST_PROFILE`` set); the engine's
+    run loop drives the hot-path attributes directly, everything else
+    goes through the small methods below.  ``clock`` is an injected
+    nanosecond-resolution callable (the engine passes the stdlib's
+    ns-precision performance clock).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int],
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        duty: tuple = DEFAULT_DUTY,
+    ):
+        self.clock = clock
+        self.sample_every = max(1, int(sample_every))
+        #: instrumented / plain dispatches per duty window (see
+        #: :data:`DEFAULT_DUTY`; ``duty_off == 0`` instruments everything)
+        self.duty_on = max(1, int(duty[0]))
+        self.duty_off = max(0, int(duty[1]))
+        #: hot-path scalar accumulators (the engine adds to these
+        #: directly; attribute access is cheaper than a method call)
+        self.heap_ns = 0
+        self.dispatch_ns = 0
+        self.self_ns = 0
+        #: heap pushes seen while profiling (their ns ride inside the
+        #: enclosing callback body — see docs/PROFILING.md)
+        self.heap_pushes = 0
+        #: callback-body exclusive ns and event counts per category
+        self.callback_ns: dict[str, int] = {c: 0 for c in CALLBACK_CATEGORIES}
+        self.callback_events: dict[str, int] = {
+            c: 0 for c in CALLBACK_CATEGORIES
+        }
+        #: nested probe ns keyed (probe name, enclosing callback category)
+        self.nested: dict[tuple, int] = {}
+        #: events dispatched / cancelled heap entries skipped inside
+        #: *instrumented* bursts of the profiled loop
+        self.events = 0
+        self.cancelled = 0
+        #: wall ns and dispatch count of the plain (off-duty) stretches;
+        #: apportioned pro-rata over the measured categories in
+        #: :meth:`totals`
+        self.unsampled_ns = 0
+        self.unsampled_events = 0
+        #: wall ns spent inside profiled ``run()`` calls, and their count
+        self.run_wall_ns = 0
+        self.runs = 0
+        #: cumulative host-time counter series for the Chrome trace:
+        #: ``(f"host.{category}.us", None) -> [(sim_t_us, host_us)]``
+        self.series: dict[tuple, list] = {}
+        # per-category point lists, precomputed so sample() never
+        # formats keys on the (amortized) hot path
+        self._series_pts: dict[str, list] = {
+            cat: self.series.setdefault((f"host.{cat}.us", None), [])
+            for cat in HOST_CATEGORIES
+        }
+        # run-loop state
+        self._in_run = False
+        self._nested_ns = 0
+        self._current_cat: Optional[str] = None
+        #: tag -> callback category memo (the run loop reads this dict
+        #: directly; unhashable tags fall back to :func:`host_category`)
+        self._cat_cache: dict = {}
+
+    # -- engine hooks ----------------------------------------------------
+
+    def category_of(self, tag: Any) -> str:
+        """Callback category of the event about to be dispatched
+        (memoized; the run loop inlines the cache hit)."""
+        try:
+            return self._cat_cache[tag]
+        except KeyError:
+            cat = self._cat_cache[tag] = host_category(tag)
+            return cat
+        except TypeError:  # unhashable tag (e.g. split parts hold lists)
+            return host_category(tag)
+
+    def run_begin(self) -> None:
+        """Enter the profiled run loop (activates the nested probes)."""
+        global ACTIVE
+        self._in_run = True
+        self.runs += 1
+        ACTIVE = self
+
+    def run_end(self, wall_ns: int, sim_now: float) -> None:
+        """Leave the profiled run loop; ``wall_ns`` covers the loop."""
+        global ACTIVE
+        self.run_wall_ns += wall_ns
+        self._in_run = False
+        self._current_cat = None
+        if ACTIVE is self:
+            ACTIVE = None
+        self.sample(sim_now)
+
+    def add_callback(self, category: str, ns: int, nested_ns: int) -> None:
+        """Account one dispatched callback body (exclusive of ``nested_ns``,
+        which the nested probes already attributed elsewhere)."""
+        self.events += 1
+        self.callback_events[category] += 1
+        self.callback_ns[category] += max(0, ns - nested_ns)
+
+    def add_nested(self, name: str, ns: int) -> None:
+        """Attribute ``ns`` to a nested probe (pack/unpack, observability)
+        and exclude it from the enclosing callback body."""
+        if not self._in_run:
+            return
+        self._nested_ns += ns
+        key = (name, self._current_cat)
+        nested = self.nested
+        if key in nested:
+            nested[key] += ns
+        else:
+            nested[key] = ns
+
+    def sample(self, sim_now: float) -> None:
+        """Append one cumulative host-us point per category at ``sim_now``
+        (simulated us) — the Chrome host-time counter track."""
+        pts_of = self._series_pts
+        for cat, ns in self.totals().items():
+            pts = pts_of[cat]
+            value = ns / 1e3
+            if pts and pts[-1][0] == sim_now:
+                pts[-1] = (sim_now, value)
+            else:
+                pts.append((sim_now, value))
+
+    # -- aggregation -----------------------------------------------------
+
+    def nested_totals(self) -> dict[str, int]:
+        """Total ns per nested probe name, summed over enclosing
+        categories."""
+        out: dict[str, int] = {}
+        for (name, _cat), ns in self.nested.items():
+            out[name] = out.get(name, 0) + ns
+        return out
+
+    def measured(self) -> dict[str, int]:
+        """Directly measured ns per entry of :data:`HOST_CATEGORIES`
+        (instrumented dispatches only — excludes the off-duty pool)."""
+        nested = self.nested_totals()
+        out = {
+            "heap": self.heap_ns,
+            "dispatch": self.dispatch_ns,
+            "profiler-self": self.self_ns,
+        }
+        for cat in CALLBACK_CATEGORIES:
+            out[f"callback.{cat}"] = self.callback_ns[cat]
+        out["pack-unpack"] = nested.get("pack-unpack", 0)
+        out["observability"] = nested.get("observability", 0)
+        return {c: out.get(c, 0) for c in HOST_CATEGORIES}
+
+    def totals(self) -> dict[str, int]:
+        """Attributed ns per entry of :data:`HOST_CATEGORIES`.
+
+        The off-duty pool (:attr:`unsampled_ns`) is apportioned pro-rata
+        over the measured non-``profiler-self`` categories — those
+        stretches run the same event mix through the plain dispatch body,
+        just unobserved (``profiler-self`` is excluded because profiler
+        work does not happen off-duty).  Sums to :attr:`attributed_ns`.
+        """
+        out = self.measured()
+        pool = self.unsampled_ns
+        if pool <= 0:
+            return out
+        weights = {c: ns for c, ns in out.items() if c != "profiler-self"}
+        denom = sum(weights.values())
+        if denom <= 0:
+            out["dispatch"] += pool
+            return out
+        spread = 0
+        largest = max(weights, key=weights.get)
+        for c, w in weights.items():
+            share = pool * w // denom
+            out[c] += share
+            spread += share
+        out[largest] += pool - spread  # rounding remainder
+        return out
+
+    @property
+    def total_events(self) -> int:
+        """All dispatches seen by the profiled loop (instrumented +
+        off-duty); matches ``Simulator.events_processed`` deltas."""
+        return self.events + self.unsampled_events
+
+    @property
+    def attributed_ns(self) -> int:
+        return sum(self.measured().values()) + max(0, self.unsampled_ns)
+
+    def closure(self) -> float:
+        """Attributed fraction of the profiled run-loop wall time."""
+        if self.run_wall_ns <= 0:
+            return 0.0
+        return self.attributed_ns / self.run_wall_ns
+
+    def ns_per_event(self) -> dict[str, float]:
+        """Per-category ns/event plus ``total`` — the ledger payload."""
+        n = max(1, self.total_events)
+        out = {cat: ns / n for cat, ns in self.totals().items()}
+        out["total"] = self.run_wall_ns / n
+        return out
+
+    def snapshot(self) -> dict:
+        """Everything, JSON-serializable (the CLI ``--json`` document)."""
+        return {
+            "events": self.total_events,
+            "events_instrumented": self.events,
+            "cancelled": self.cancelled,
+            "heap_pushes": self.heap_pushes,
+            "duty": [self.duty_on, self.duty_off],
+            "unsampled_ns": self.unsampled_ns,
+            "runs": self.runs,
+            "run_wall_ns": self.run_wall_ns,
+            "closure": self.closure(),
+            "totals_ns": self.totals(),
+            "measured_ns": self.measured(),
+            "ns_per_event": self.ns_per_event(),
+            "callback_events": dict(self.callback_events),
+            "nested_ns": {
+                f"{name}@{cat or 'root'}": ns
+                for (name, cat), ns in sorted(self.nested.items())
+            },
+        }
+
+    # -- exports ---------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (``frame;frame value`` lines, value in
+        ns) for flamegraph.pl / speedscope.  Frames carry *measured*
+        ns; the off-duty pool appears as its own ``engine;unsampled``
+        root frame rather than being apportioned."""
+        lines = []
+        totals = self.measured()
+        nested_by_cat: dict[Optional[str], dict[str, int]] = {}
+        for (name, cat), ns in self.nested.items():
+            nested_by_cat.setdefault(cat, {})[name] = ns
+        for top in ("heap", "dispatch", "profiler-self"):
+            if totals[top]:
+                lines.append(f"engine;{top} {totals[top]}")
+        if self.unsampled_ns:
+            lines.append(f"engine;unsampled {self.unsampled_ns}")
+        for cat in CALLBACK_CATEGORIES:
+            ns = self.callback_ns[cat]
+            if ns:
+                lines.append(f"engine;callback;{cat} {ns}")
+            for name, nns in sorted(nested_by_cat.get(cat, {}).items()):
+                if nns:
+                    lines.append(f"engine;callback;{cat};{name} {nns}")
+        for name, nns in sorted(nested_by_cat.get(None, {}).items()):
+            if nns:
+                lines.append(f"engine;{name} {nns}")
+        return "\n".join(lines) + "\n"
+
+
+class TimedMetrics:
+    """Metrics-registry proxy that bills instrument lookups to the
+    ``observability`` host category.
+
+    Installed by :class:`~repro.mpi.world.Cluster` only when host
+    profiling is on; every other method/attribute delegates untouched,
+    so the wrapped registry stays the single source of metric truth.
+    Instrument *mutation* (``inc``/``observe`` on the returned objects)
+    is not intercepted — it stays inside the enclosing callback category
+    (see docs/PROFILING.md for the approximation note).
+    """
+
+    __slots__ = ("_inner", "_sink", "_clock")
+
+    def __init__(self, inner, sink: HostProfiler, clock: Callable[[], int]):
+        self._inner = inner
+        self._sink = sink
+        self._clock = clock
+
+    def counter(self, name, node=None):
+        sink = self._sink
+        if not sink._in_run:  # off-duty / outside run: no clock reads
+            return self._inner.counter(name, node)
+        c = self._clock
+        t0 = c()
+        inst = self._inner.counter(name, node)
+        sink.add_nested("observability", c() - t0)
+        return inst
+
+    def gauge(self, name, node=None):
+        sink = self._sink
+        if not sink._in_run:
+            return self._inner.gauge(name, node)
+        c = self._clock
+        t0 = c()
+        inst = self._inner.gauge(name, node)
+        sink.add_nested("observability", c() - t0)
+        return inst
+
+    def histogram(self, name, node=None, *args, **kwargs):
+        sink = self._sink
+        if not sink._in_run:
+            return self._inner.histogram(name, node, *args, **kwargs)
+        c = self._clock
+        t0 = c()
+        inst = self._inner.histogram(name, node, *args, **kwargs)
+        sink.add_nested("observability", c() - t0)
+        return inst
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+# -- report rendering ------------------------------------------------------
+
+
+def format_hotspots(snapshot: dict, title: str = "") -> str:
+    """Render one profiler snapshot as a ranked ns/event hotspot table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'host category':<26} {'ns/event':>10} {'total_ms':>9} {'share':>7}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    totals = snapshot["totals_ns"]
+    per_event = snapshot["ns_per_event"]
+    wall = max(1, snapshot["run_wall_ns"])
+    for cat, ns in sorted(totals.items(), key=lambda kv: -kv[1]):
+        lines.append(
+            f"{cat:<26} {per_event[cat]:>10.0f} {ns / 1e6:>9.2f} "
+            f"{100.0 * ns / wall:>6.1f}%"
+        )
+    lines.append(
+        f"{'total (run-loop wall)':<26} {per_event['total']:>10.0f} "
+        f"{wall / 1e6:>9.2f} {100.0:>6.1f}%"
+    )
+    lines.append(
+        f"closure: {100.0 * snapshot['closure']:.1f}% of wall attributed "
+        f"({snapshot['events']} events, {snapshot['runs']} run(s))"
+    )
+    return "\n".join(lines)
+
+
+def top_categories(snapshot: dict, n: int = 3) -> list[tuple[str, float]]:
+    """The ``n`` largest host categories as ``(category, ns_per_event)``."""
+    totals = snapshot["totals_ns"]
+    per_event = snapshot["ns_per_event"]
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+    return [(cat, per_event[cat]) for cat, _ns in ranked[:n]]
+
+
+def hostprof_markdown(results: dict, workload: str, nbytes: int) -> str:
+    """Markdown summary (top-3 host categories per scheme) for the CI
+    job step summary."""
+    lines = [
+        f"## host-time profile — {workload}, {nbytes} bytes",
+        "",
+        "| scheme | ns/event | top host categories (ns/event) | closure |",
+        "|---|---|---|---|",
+    ]
+    for scheme, snap in results.items():
+        tops = ", ".join(
+            f"{cat} ({ns:.0f})" for cat, ns in top_categories(snap, 3)
+        )
+        lines.append(
+            f"| {scheme} | {snap['ns_per_event']['total']:.0f} | {tops} "
+            f"| {100.0 * snap['closure']:.1f}% |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- profiled transfers ----------------------------------------------------
+
+
+def hostprof_transfer(
+    scheme: str,
+    dt,
+    *,
+    count: int = 1,
+    iters: int = 4,
+    scheme_options: Optional[dict] = None,
+    cost_model=None,
+    trace: bool = False,
+    duty: Optional[tuple] = None,
+):
+    """Run ``iters`` host-profiled 2-rank transfers of ``(dt, count)``
+    under ``scheme``; returns ``(host_profiler, cluster)``.
+
+    Mirrors :func:`repro.obs.profile.profile_transfer` but measures host
+    nanoseconds instead of simulated microseconds; several iterations
+    amortize the first transfer's cold caches (layout memoization,
+    registration) into a representative ns/event figure.  ``duty``
+    overrides the profiler's duty cycle (``(n, 0)`` = instrument every
+    dispatch, what the attribution tests use).
+    """
+    from repro.ib.costmodel import MB
+    from repro.mpi.world import Cluster
+
+    cluster = Cluster(
+        2,
+        cost_model=cost_model,
+        scheme=scheme,
+        scheme_options=scheme_options or {},
+        memory_per_rank=512 * MB,
+        trace=trace,
+        host_profile=True,
+    )
+    if duty is not None:
+        cluster.host_profiler.duty_on = max(1, int(duty[0]))
+        cluster.host_profiler.duty_off = max(0, int(duty[1]))
+    span = dt.flatten(count).span + abs(dt.lb) + 64
+
+    def rank0(mpi):
+        buf = mpi.alloc(span)
+        for i in range(iters):
+            yield from mpi.send(buf, dt, count, dest=1, tag=i)
+        return mpi.now
+
+    def rank1(mpi):
+        buf = mpi.alloc(span)
+        for i in range(iters):
+            yield from mpi.recv(buf, dt, count, source=0, tag=i)
+        return mpi.now
+
+    cluster.run([rank0, rank1])
+    return cluster.host_profiler, cluster
+
+
+def _deep_profile(scheme: str, dt, *, iters: int, scheme_options=None) -> str:
+    """cProfile/pstats deep mode: the same transfer, function-level."""
+    import cProfile
+    import io
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        hostprof_transfer(
+            scheme, dt, iters=iters, scheme_options=scheme_options
+        )
+    finally:
+        prof.disable()
+    sink = io.StringIO()
+    stats = pstats.Stats(prof, stream=sink)
+    stats.sort_stats("tottime").print_stats(25)
+    return sink.getvalue()
+
+
+def run_hostprof(
+    workload: str = "fig09",
+    nbytes: int = 65536,
+    schemes: Optional[Sequence[str]] = None,
+    iters: int = 4,
+    chrome_out: Optional[str] = None,
+    collapsed_out: Optional[str] = None,
+    json_out: Optional[str] = None,
+    markdown_out: Optional[str] = None,
+    deep: bool = False,
+    print_fn=print,
+) -> dict:
+    """CLI driver: host-profile every scheme on one workload.
+
+    Prints a ranked ns/event hotspot table per scheme; optionally writes
+    collapsed stacks (``<prefix>.<scheme>.collapsed``), Chrome traces
+    with host-time counter tracks (``<prefix>.<scheme>.json``), the full
+    JSON document, a markdown top-3 summary, and a cProfile deep-mode
+    listing.  Returns ``{scheme: snapshot}``.
+    """
+    import json as _json
+    import os
+
+    from repro.obs.chrome import counter_track_events, export_chrome_trace
+    from repro.obs.report import workload_for
+
+    if schemes is None:
+        from repro.schemes import SCHEME_NAMES
+
+        schemes = SCHEME_NAMES
+    results: dict = {}
+    for scheme in schemes:
+        wl = workload_for(workload, nbytes)
+        hp, cluster = hostprof_transfer(
+            scheme, wl.datatype, iters=iters, trace=bool(chrome_out)
+        )
+        snap = hp.snapshot()
+        results[scheme] = snap
+        print_fn(
+            format_hotspots(
+                snap,
+                title=(
+                    f"host time: {scheme} / {workload} "
+                    f"({wl.datatype.size} bytes x {iters} iters)"
+                ),
+            )
+        )
+        print_fn("")
+        if collapsed_out:
+            path = f"{collapsed_out}.{scheme}.collapsed"
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            with open(path, "w") as fh:
+                fh.write(hp.collapsed())
+            print_fn(f"wrote collapsed stacks {path}")
+        if chrome_out:
+            prefix = (
+                chrome_out[:-5] if chrome_out.endswith(".json") else chrome_out
+            )
+            path = f"{prefix}.{scheme}.{nbytes}.json"
+            export_chrome_trace(
+                cluster.tracer,
+                path,
+                counters=counter_track_events(hp.series),
+            )
+            print_fn(f"wrote annotated trace {path}")
+        if deep:
+            print_fn(
+                _deep_profile(scheme, wl.datatype, iters=iters).rstrip()
+            )
+            print_fn("")
+    if json_out:
+        import os as _os
+
+        _os.makedirs(_os.path.dirname(json_out) or ".", exist_ok=True)
+        with open(json_out, "w") as fh:
+            _json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print_fn(f"wrote {json_out}")
+    if markdown_out:
+        import os as _os
+
+        _os.makedirs(_os.path.dirname(markdown_out) or ".", exist_ok=True)
+        with open(markdown_out, "w") as fh:
+            fh.write(hostprof_markdown(results, workload, nbytes))
+        print_fn(f"wrote {markdown_out}")
+    return results
+
+
+def write_artifacts(
+    outdir,
+    workload: str = "fig09",
+    nbytes: int = 65536,
+    schemes: Optional[Sequence[str]] = None,
+    iters: int = 4,
+    print_fn=print,
+) -> dict:
+    """One-call CI artifact bundle under ``outdir``: ``hotspots.txt``,
+    per-scheme collapsed stacks + annotated Chrome traces,
+    ``hostprof.json`` and ``summary.md`` (top-3 table)."""
+    import os
+
+    os.makedirs(str(outdir), exist_ok=True)
+    lines: list[str] = []
+    results = run_hostprof(
+        workload=workload,
+        nbytes=nbytes,
+        schemes=schemes,
+        iters=iters,
+        chrome_out=os.path.join(str(outdir), "trace"),
+        collapsed_out=os.path.join(str(outdir), "stacks"),
+        json_out=os.path.join(str(outdir), "hostprof.json"),
+        markdown_out=os.path.join(str(outdir), "summary.md"),
+        print_fn=lambda *parts: lines.append(" ".join(str(p) for p in parts)),
+    )
+    with open(os.path.join(str(outdir), "hotspots.txt"), "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print_fn(f"wrote host-profile artifacts under {outdir}")
+    return results

@@ -6,7 +6,8 @@ the override environment).  A record captures everything needed to
 interpret the numbers later — git sha, wall-clock timestamp, package
 version, the full :class:`~repro.ib.costmodel.CostModel` parameter set,
 the fault-injection environment, the per-cell metric values, engine
-events/sec, and (for gate runs) the critical-path profiler's
+events/sec, the host-time profiler's per-category ns/event
+(``host_profile``), and (for gate runs) the critical-path profiler's
 per-category attribution — so the trends CLI (:mod:`repro.obs.trends`)
 and the regression explainer (:mod:`repro.obs.regress`) can compare any
 two points in the repo's history without re-running them.
@@ -134,6 +135,7 @@ def make_record(
     metrics: Optional[dict] = None,
     attribution: Optional[dict] = None,
     events_per_sec: Optional[dict] = None,
+    host_profile: Optional[dict] = None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Build one ledger record (a plain JSON-serializable dict).
@@ -162,6 +164,8 @@ def make_record(
         record["attribution"] = attribution
     if events_per_sec is not None:
         record["events_per_sec"] = events_per_sec
+    if host_profile is not None:
+        record["host_profile"] = host_profile
     if extra:
         record.update(extra)
     return record

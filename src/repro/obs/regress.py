@@ -13,9 +13,18 @@ the moved category and its magnitude in simulated microseconds, e.g.::
       moved: copy +25.1 us (+52.3%)  [34.1 -> 59.2 us on the critical path]
 
 Gate metric keys look like ``fig08/<scheme>/cols=<n>``;
-:func:`parse_metric_key` recovers the cell coordinates, and keys that do
-not name a simulated cell (e.g. the wall-clock ``engine/...`` metrics)
-are reported as unexplainable rather than silently dropped.
+:func:`parse_metric_key` recovers the cell coordinates.  The wall-clock
+``engine/<bench>/events_per_sec`` metrics have no simulated critical
+path, but when both the current run and the last-good ledger record
+carry a ``host_profile`` section (per-category host ns/event from
+:mod:`repro.obs.hostprof`) the explainer diffs *that* instead and names
+the host category that moved::
+
+    engine/bandwidth/events_per_sec: host time 7282.00 -> 9150.00 ns/ev
+      moved: pack-unpack +1790.10 ns/ev (+612.3%)
+
+Keys that can be explained neither way are reported as unexplainable
+rather than silently dropped.
 """
 
 from __future__ import annotations
@@ -41,6 +50,10 @@ __all__ = [
 _COLUMN_BYTES = 128 * 4
 
 _KEY_RE = re.compile(r"^(fig\d+)/([^/]+)/cols=(\d+)$")
+
+#: wall-clock engine-throughput gate keys — explainable via the host-time
+#: profile instead of the (nonexistent) simulated critical path
+_ENGINE_KEY_RE = re.compile(r"^engine/([^/]+)/events_per_sec$")
 
 
 def parse_metric_key(key: str) -> Optional[tuple[str, str, int]]:
@@ -115,6 +128,10 @@ class RegressionExplanation:
     #: set when the cell could not be attributed (non-cell metric, or no
     #: last-good attribution in the ledger)
     reason: Optional[str] = None
+    #: measurement unit of the totals/moves: simulated critical-path
+    #: diffs are in ``us``; engine-key host-time diffs are in ``ns/ev``
+    #: (the CategoryMove ``*_us`` field names are historical)
+    unit: str = "us"
 
     @property
     def moved(self) -> Optional[CategoryMove]:
@@ -122,22 +139,83 @@ class RegressionExplanation:
         return self.moves[0] if self.moves else None
 
 
+def _explain_engine_key(
+    key: str,
+    bench: str,
+    host_now: Optional[dict],
+    last_good_record: Optional[dict],
+) -> RegressionExplanation:
+    """Host-time diff for one ``engine/<bench>/events_per_sec`` key.
+
+    Falls back to an unexplained entry (keeping the historical "no
+    critical path" wording) when either side lacks host-profile data.
+    """
+    from repro.obs.hostprof import HOST_CATEGORIES
+
+    now = (host_now or {}).get(bench)
+    now_ns = now.get("ns_per_event") if isinstance(now, dict) else None
+    if not isinstance(now_ns, dict):
+        return RegressionExplanation(
+            key=key,
+            reason="not a sweep cell (no critical path to attribute; "
+            "no host profile in this run either)",
+        )
+    ref = (last_good_record or {}).get("host_profile", {})
+    before = ref.get(bench) if isinstance(ref, dict) else None
+    before_ns = before.get("ns_per_event") if isinstance(before, dict) else None
+    if not isinstance(before_ns, dict):
+        return RegressionExplanation(
+            key=key,
+            total_after_us=float(now_ns.get("total", 0.0)),
+            reason="not a sweep cell (no critical path to attribute), "
+            "and no last-good host profile in the ledger yet",
+            unit="ns/ev",
+        )
+    moves = [
+        CategoryMove(
+            category=cat,
+            before_us=float(before_ns.get(cat, 0.0)),
+            after_us=float(now_ns.get(cat, 0.0)),
+        )
+        for cat in HOST_CATEGORIES
+    ]
+    moves.sort(key=lambda m: -abs(m.delta_us))
+    return RegressionExplanation(
+        key=key,
+        moves=moves,
+        total_before_us=float(before_ns.get("total", 0.0)),
+        total_after_us=float(now_ns.get("total", 0.0)),
+        unit="ns/ev",
+    )
+
+
 def explain_regressions(
     regressed_keys: Sequence[str],
     now_attribution: dict,
     last_good_record: Optional[dict],
+    host_now: Optional[dict] = None,
 ) -> list[RegressionExplanation]:
     """Diff each regressed cell's fresh attribution against the ledger.
 
     ``now_attribution`` is the current run's ``{key: attribution}`` (the
     gate computes it for every cell while appending its own ledger
     record); ``last_good_record`` is the newest passing ledger record
-    carrying an ``attribution`` section.
+    carrying an ``attribution`` section.  ``host_now`` is the current
+    run's host-profile section (``{bench: {"ns_per_event": ...}}``) —
+    with it, regressed ``engine/*`` throughput keys are explained by
+    diffing per-category host ns/event against the last-good record's
+    ``host_profile`` instead of being reported unexplainable.
     """
     ref = (last_good_record or {}).get("attribution", {})
     out: list[RegressionExplanation] = []
     for key in regressed_keys:
         if parse_metric_key(key) is None:
+            eng = _ENGINE_KEY_RE.match(key)
+            if eng is not None:
+                out.append(_explain_engine_key(
+                    key, eng.group(1), host_now, last_good_record
+                ))
+                continue
             out.append(RegressionExplanation(
                 key=key,
                 reason="not a sweep cell (no critical path to attribute)",
@@ -190,23 +268,25 @@ def format_regressions(
         if exp.reason is not None:
             lines.append(f"  {exp.key}: unexplained — {exp.reason}")
             continue
+        unit = exp.unit
+        label = "critical path" if unit == "us" else "host time"
         total_delta = exp.total_after_us - exp.total_before_us
         lines.append(
-            f"  {exp.key}: critical path {exp.total_before_us:.2f} -> "
-            f"{exp.total_after_us:.2f} us ({total_delta:+.2f} us)"
+            f"  {exp.key}: {label} {exp.total_before_us:.2f} -> "
+            f"{exp.total_after_us:.2f} {unit} ({total_delta:+.2f} {unit})"
         )
         top = exp.moved
         if top is not None:
             lines.append(
-                f"    moved: {top.category} {top.delta_us:+.2f} us "
+                f"    moved: {top.category} {top.delta_us:+.2f} {unit} "
                 f"({top.pct:+.1f}%)  "
-                f"[{top.before_us:.2f} -> {top.after_us:.2f} us]"
+                f"[{top.before_us:.2f} -> {top.after_us:.2f} {unit}]"
             )
         for mv in exp.moves[1:]:
             if abs(mv.delta_us) < 1e-9:
                 continue
             lines.append(
-                f"           {mv.category} {mv.delta_us:+.2f} us "
+                f"           {mv.category} {mv.delta_us:+.2f} {unit} "
                 f"({mv.pct:+.1f}%)"
             )
     return "\n".join(lines)

@@ -60,6 +60,10 @@ def record_metrics(record: dict) -> dict:
     Gate records carry a ``metrics`` section verbatim; selftest records
     expose their engine throughput under the same ``engine/<bench>/
     events_per_sec`` keys the gate uses, so one key space spans both.
+    Records carrying a ``host_profile`` section (gate and selftest runs
+    with host profiling on) additionally expose each host category's
+    per-event cost as ``host/<bench>/<category>`` in ns/event — the
+    trajectories that show *which* part of the host loop drifted.
     """
     out: dict = {}
     metrics = record.get("metrics")
@@ -74,6 +78,17 @@ def record_metrics(record: dict) -> dict:
             out.setdefault(
                 key, {"value": value, "unit": "ev/s", "better": "higher"}
             )
+    host = record.get("host_profile")
+    if isinstance(host, dict):
+        for bench, data in host.items():
+            nspe = data.get("ns_per_event") if isinstance(data, dict) else None
+            if not isinstance(nspe, dict):
+                continue
+            for cat, value in nspe.items():
+                out.setdefault(
+                    f"host/{bench}/{cat}",
+                    {"value": value, "unit": "ns/ev", "better": "lower"},
+                )
     return out
 
 

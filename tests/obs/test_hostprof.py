@@ -1,0 +1,232 @@
+"""Host-time profiler: taxonomy, closure, duty cycling, and exports.
+
+Includes the acceptance tests: closure >= 95% of run-loop wall time on
+all seven schemes (exact tiling by construction — the tolerance only
+absorbs the few ns of loop entry/exit), and the CLI smoke run that CI's
+tier-1 job exercises.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.hostprof import (
+    CALLBACK_CATEGORIES,
+    DEFAULT_DUTY,
+    HOST_CATEGORIES,
+    HostProfiler,
+    format_hotspots,
+    host_category,
+    hostprof_markdown,
+    hostprof_transfer,
+    run_hostprof,
+    top_categories,
+    write_artifacts,
+)
+
+ALL_SCHEMES = ("generic", "bc-spup", "rwg-up", "p-rrs", "multi-w", "hybrid",
+               "adaptive")
+
+
+def column_dt(cols=64):
+    from repro.bench.workloads import column_vector
+
+    return column_vector(cols).datatype
+
+
+class TestHostCategory:
+    def test_string_tags_reuse_simulated_categories(self):
+        assert host_category("pack") == "copy"
+        assert host_category("wire") == "wire"
+        assert host_category("register") == "registration"
+        assert host_category(None) == "protocol-wait"
+
+    def test_resource_wait_tuple(self):
+        assert host_category(("resource-wait", "cpu")) == "resource-wait"
+
+    def test_store_and_signal_wait_tuples(self):
+        assert host_category(("store-wait", 7)) == "protocol-wait"
+        assert host_category(("signal-wait", 7)) == "protocol-wait"
+
+    def test_split_tuple_bills_absorbing_part(self):
+        tag = ("split", (("copy", 3.0), ("wire", None)))
+        assert host_category(tag) == "wire"
+        tag = ("split", (("copy", 3.0), ("descriptor", 1.0)))
+        assert host_category(tag) == "copy"
+
+    def test_unknown_tuple_falls_to_protocol_wait(self):
+        assert host_category(("mystery",)) == "protocol-wait"
+
+
+class TestProfilerAccounting:
+    """Pure-aggregation behaviour with a fake injected clock."""
+
+    def make(self, **kw):
+        return HostProfiler(clock=lambda: 0, **kw)
+
+    def test_categories_cover_taxonomy(self):
+        hp = self.make()
+        assert set(hp.measured()) == set(HOST_CATEGORIES)
+        assert set(hp.totals()) == set(HOST_CATEGORIES)
+
+    def test_unsampled_pool_apportioned_pro_rata(self):
+        hp = self.make()
+        hp.callback_ns["copy"] = 3000
+        hp.callback_ns["wire"] = 1000
+        hp.self_ns = 500
+        hp.unsampled_ns = 4000
+        totals = hp.totals()
+        # pool splits 3:1 over the measured non-self categories
+        assert totals["callback.copy"] == 6000
+        assert totals["callback.wire"] == 2000
+        # profiler-self never receives pool time (no profiler work
+        # happens off-duty)
+        assert totals["profiler-self"] == 500
+        assert sum(totals.values()) == hp.attributed_ns
+
+    def test_empty_measured_pool_lands_in_dispatch(self):
+        hp = self.make()
+        hp.unsampled_ns = 1234
+        assert hp.totals()["dispatch"] == 1234
+
+    def test_nested_excluded_outside_run(self):
+        hp = self.make()
+        hp.add_nested("pack-unpack", 999)
+        assert hp.nested == {}
+        hp.run_begin()
+        hp.add_nested("pack-unpack", 999)
+        hp.run_end(wall_ns=10_000, sim_now=1.0)
+        assert hp.nested == {("pack-unpack", None): 999}
+
+    def test_snapshot_round_trips_through_json(self):
+        hp = self.make()
+        hp.run_begin()
+        hp.add_callback("copy", 100, 0)
+        hp.run_end(wall_ns=100, sim_now=2.0)
+        snap = json.loads(json.dumps(hp.snapshot()))
+        assert snap["events"] == 1
+        assert snap["closure"] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_closure_at_least_95_percent_every_scheme(scheme):
+    hp, _cluster = hostprof_transfer(scheme, column_dt(), iters=2)
+    assert hp.total_events > 0
+    assert hp.closure() >= 0.95, (
+        f"{scheme}: closure {hp.closure():.3f} — "
+        f"{hp.attributed_ns} of {hp.run_wall_ns} ns attributed"
+    )
+
+
+class TestDutyCycle:
+    def test_default_duty_leaves_unsampled_pool(self):
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=2)
+        assert (hp.duty_on, hp.duty_off) == DEFAULT_DUTY
+        assert hp.unsampled_events > 0
+        assert hp.unsampled_ns > 0
+        assert hp.events + hp.unsampled_events == hp.total_events
+
+    def test_exact_mode_instruments_every_dispatch(self):
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=2,
+                                  duty=(1, 0))
+        assert hp.unsampled_events == 0
+        assert hp.unsampled_ns == 0
+        assert hp.events == hp.total_events
+        assert hp.closure() >= 0.95
+
+    def test_event_counts_match_simulator(self):
+        hp, cluster = hostprof_transfer("bc-spup", column_dt(), iters=2)
+        assert hp.total_events == cluster.sim.events_processed
+
+    def test_pack_unpack_attributed(self):
+        # bc-spup packs on the sender and unpacks on the receiver — the
+        # nested probes must see it even under the default duty cycle
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=4)
+        assert hp.totals()["pack-unpack"] > 0
+
+
+class TestExports:
+    def test_collapsed_stack_format(self):
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=2)
+        text = hp.collapsed()
+        lines = [ln for ln in text.splitlines() if ln]
+        assert lines
+        for ln in lines:
+            frames, _, value = ln.rpartition(" ")
+            assert frames.startswith("engine")
+            assert int(value) > 0
+        assert any(ln.startswith("engine;unsampled ") for ln in lines)
+        assert any(ln.startswith("engine;callback;") for ln in lines)
+
+    def test_counter_series_feed_chrome_tracks(self):
+        from repro.obs.chrome import counter_track_events
+
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=2)
+        events = counter_track_events(hp.series)
+        names = {e["name"] for e in events}
+        assert any(name.startswith("host.") for name in names)
+        # cumulative series: per-track values never decrease
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        for name, evs in by_name.items():
+            if not name.startswith("host."):
+                continue
+            vals = [next(iter(e["args"].values())) for e in evs]
+            assert vals == sorted(vals), name
+
+    def test_hotspot_table_and_top_categories(self):
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=2)
+        snap = hp.snapshot()
+        text = format_hotspots(snap, title="t")
+        assert "host category" in text
+        assert "closure:" in text
+        tops = top_categories(snap, 3)
+        assert len(tops) == 3
+        assert all(cat in HOST_CATEGORIES for cat, _ns in tops)
+        # ranked by total ns, descending
+        totals = snap["totals_ns"]
+        ranked = sorted(totals.values(), reverse=True)
+        assert [totals[cat] for cat, _ in tops] == ranked[:3]
+
+    def test_markdown_summary_has_all_schemes(self):
+        hp, _ = hostprof_transfer("bc-spup", column_dt(), iters=1)
+        results = {"bc-spup": hp.snapshot()}
+        md = hostprof_markdown(results, "fig09", 4096)
+        assert "| bc-spup |" in md
+        assert "closure" in md
+
+
+class TestCliAndArtifacts:
+    def test_run_hostprof_prints_tables(self):
+        lines = []
+        results = run_hostprof(
+            workload="fig09", nbytes=8192, schemes=["bc-spup"], iters=1,
+            print_fn=lambda *p: lines.append(" ".join(str(x) for x in p)),
+        )
+        assert "bc-spup" in results
+        assert any("host category" in ln for ln in lines)
+
+    def test_cli_smoke(self, capsys):
+        from repro.obs.__main__ import main
+
+        rc = main(["hostprof", "fig09", "bc-spup", "--size", "8192",
+                   "--iters", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host time: bc-spup" in out
+        assert "closure:" in out
+
+    def test_artifact_bundle(self, tmp_path):
+        outdir = tmp_path / "hp"
+        results = write_artifacts(
+            outdir, workload="fig09", nbytes=8192, schemes=["bc-spup"],
+            iters=1, print_fn=lambda *p: None,
+        )
+        assert "bc-spup" in results
+        assert (outdir / "hotspots.txt").exists()
+        assert (outdir / "summary.md").exists()
+        assert (outdir / "stacks.bc-spup.collapsed").exists()
+        assert (outdir / "trace.bc-spup.8192.json").exists()
+        doc = json.loads((outdir / "hostprof.json").read_text())
+        assert doc["bc-spup"]["closure"] >= 0.95

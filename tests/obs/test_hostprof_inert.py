@@ -1,0 +1,113 @@
+"""Host profiling measures the host, never the simulation.
+
+With ``host_profile=False`` (the default) a cluster must carry none of
+the profiler plumbing — plain tracer, plain metrics registry, no
+``sim.host_profiler`` — and a profiled run must produce byte-identical
+simulated results, metrics, and traces to an unprofiled one.
+"""
+
+from dataclasses import asdict
+
+from repro.ib.costmodel import MB
+from repro.mpi.world import Cluster
+
+
+def column_dt(cols=64):
+    from repro.bench.workloads import column_vector
+
+    return column_vector(cols).datatype
+
+
+def transfer(host_profile, trace=False):
+    dt = column_dt()
+    cluster = Cluster(
+        2, scheme="bc-spup", memory_per_rank=512 * MB, trace=trace,
+        host_profile=host_profile,
+    )
+    span = dt.flatten(1).span + abs(dt.lb) + 64
+
+    def rank0(mpi):
+        buf = mpi.alloc(span)
+        for i in range(3):
+            yield from mpi.send(buf, dt, 1, dest=1, tag=i)
+        return mpi.now
+
+    def rank1(mpi):
+        buf = mpi.alloc(span)
+        for i in range(3):
+            yield from mpi.recv(buf, dt, 1, source=0, tag=i)
+        return mpi.now
+
+    result = cluster.run([rank0, rank1])
+    return cluster, result
+
+
+class TestOffMeansOff:
+    def test_no_profiler_plumbing_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOST_PROFILE", raising=False)
+        from repro.obs.metrics import MetricsRegistry
+        from repro.simulator.trace import Tracer
+
+        cluster = Cluster(2, memory_per_rank=64 * MB)
+        assert cluster.host_profiler is None
+        assert cluster.sim.host_profiler is None
+        assert type(cluster.metrics) is MetricsRegistry
+        assert type(cluster.tracer) is Tracer
+
+    def test_explicit_false_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_PROFILE", "1")
+        cluster = Cluster(2, memory_per_rank=64 * MB, host_profile=False)
+        assert cluster.host_profiler is None
+
+    def test_environment_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_PROFILE", "yes")
+        cluster = Cluster(2, memory_per_rank=64 * MB)
+        assert cluster.host_profiler is not None
+        assert cluster.sim.host_profiler is cluster.host_profiler
+
+    def test_falsy_environment_stays_off(self, monkeypatch):
+        for value in ("", "0", "no", "off", "false"):
+            monkeypatch.setenv("REPRO_HOST_PROFILE", value)
+            assert Cluster(1, memory_per_rank=64 * MB).host_profiler is None
+
+    def test_active_global_cleared_after_run(self):
+        from repro.obs import hostprof
+
+        _cluster, _result = transfer(host_profile=True)
+        assert hostprof.ACTIVE is None
+
+
+class TestByteIdentity:
+    def test_simulated_results_identical(self):
+        _c_off, r_off = transfer(host_profile=False)
+        _c_on, r_on = transfer(host_profile=True)
+        assert r_on.time_us == r_off.time_us
+        assert r_on.values == r_off.values
+
+    def test_metrics_identical(self):
+        c_off, _ = transfer(host_profile=False)
+        c_on, _ = transfer(host_profile=True)
+        assert c_on.metrics.snapshot() == c_off.metrics.snapshot()
+
+    def test_traces_identical(self):
+        c_off, _ = transfer(host_profile=False, trace=True)
+        c_on, _ = transfer(host_profile=True, trace=True)
+        recs_off = [asdict(r) for r in c_off.tracer.records]
+        recs_on = [asdict(r) for r in c_on.tracer.records]
+        assert recs_on == recs_off
+
+    def test_stats_identical(self):
+        c_off, _ = transfer(host_profile=False)
+        c_on, _ = transfer(host_profile=True)
+        assert c_on.stats() == c_off.stats()
+
+    def test_exact_duty_also_identical(self):
+        # instrumenting every dispatch must not change simulation either
+        _c_off, r_off = transfer(host_profile=False)
+        dt = column_dt()
+        from repro.obs.hostprof import hostprof_transfer
+
+        hp, cluster = hostprof_transfer("bc-spup", dt, iters=3, duty=(1, 0))
+        # same program shape as transfer(): 3 sends of the same datatype
+        assert cluster.sim.now == r_off.time_us
+        assert hp.total_events == cluster.sim.events_processed

@@ -191,3 +191,100 @@ class TestGateAcceptance:
         text = "\n".join(out)
         assert "2 ledger record(s)" in text
         assert "fig08/bc-spup/cols=64" in text
+
+
+class TestEngineKeyHostExplanation:
+    """Regressed engine/* throughput keys are explained by diffing the
+    host-time profile instead of the (nonexistent) simulated path."""
+
+    def host(self, **overrides):
+        from repro.obs.hostprof import HOST_CATEGORIES
+
+        nspe = {cat: 100.0 for cat in HOST_CATEGORIES}
+        nspe.update(overrides)
+        nspe["total"] = sum(nspe.values())
+        return {"ns_per_event": nspe, "closure": 1.0, "overhead": 0.06}
+
+    def test_names_moved_host_category(self):
+        key = "engine/bandwidth/events_per_sec"
+        before = {"bandwidth": self.host()}
+        after = {"bandwidth": self.host(**{"pack-unpack": 2100.0})}
+        (exp,) = regress.explain_regressions(
+            [key], {},
+            {"attribution": {}, "host_profile": before},
+            host_now=after,
+        )
+        assert exp.reason is None
+        assert exp.unit == "ns/ev"
+        assert exp.moved.category == "pack-unpack"
+        assert exp.moved.delta_us == pytest.approx(2000.0)
+        text = regress.format_regressions([exp])
+        assert "host time" in text
+        assert "moved: pack-unpack +2000.00 ns/ev" in text
+
+    def test_without_current_host_data_stays_unexplained(self):
+        (exp,) = regress.explain_regressions(
+            ["engine/bandwidth/events_per_sec"], {},
+            {"attribution": {}, "host_profile": {"bandwidth": self.host()}},
+        )
+        assert exp.reason is not None and "no critical path" in exp.reason
+
+    def test_without_last_good_host_profile(self):
+        (exp,) = regress.explain_regressions(
+            ["engine/bandwidth/events_per_sec"], {},
+            {"attribution": {}},
+            host_now={"bandwidth": self.host()},
+        )
+        assert exp.reason is not None
+        assert "no last-good host profile" in exp.reason
+
+    def test_engineered_pack_slowdown_is_named(self, monkeypatch):
+        """Issue acceptance: slow the real pack/unpack byte movement and
+        the explainer names ``pack-unpack`` as the moved host category."""
+        import time as _time
+
+        from repro.bench.workloads import column_vector
+        from repro.ib.memory import NodeMemory
+        from repro.obs.hostprof import hostprof_transfer
+
+        dt = column_vector(64).datatype
+
+        def profile():
+            hp, _cluster = hostprof_transfer(
+                "bc-spup", dt, iters=3, duty=(1, 0)
+            )
+            return {
+                "bandwidth": {
+                    "ns_per_event": hp.ns_per_event(),
+                    "closure": hp.closure(),
+                    "overhead": 0.0,
+                }
+            }
+
+        before = profile()
+
+        real_gather = NodeMemory.gather_blocks
+
+        def slow_gather(self, *args, **kwargs):
+            # 500 us busy-wait per pack pass: large enough that the
+            # injected pack-unpack delta dwarfs scheduler noise in the
+            # other categories even on a loaded shared host
+            t0 = _time.perf_counter_ns()
+            while _time.perf_counter_ns() - t0 < 500_000:
+                pass
+            return real_gather(self, *args, **kwargs)
+
+        monkeypatch.setattr(NodeMemory, "gather_blocks", slow_gather)
+        after = profile()
+
+        key = "engine/bandwidth/events_per_sec"
+        (exp,) = regress.explain_regressions(
+            [key], {},
+            {"attribution": {}, "host_profile": before},
+            host_now=after,
+        )
+        assert exp.reason is None
+        assert exp.moved.category == "pack-unpack", (
+            regress.format_regressions([exp])
+        )
+        assert exp.moved.delta_us > 0

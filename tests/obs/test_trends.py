@@ -53,6 +53,43 @@ class TestRecordMetrics:
         rec = {"metrics": {"a": 3, "b": {"novalue": 1}, "c": {"value": 2}}}
         assert list(trends.record_metrics(rec)) == ["c"]
 
+    def test_flattens_host_profile_categories(self):
+        flat = trends.record_metrics(_record(0, 42.0, host_profile={
+            "bandwidth": {
+                "ns_per_event": {"heap": 900.0, "pack-unpack": 1400.0,
+                                 "total": 8000.0},
+                "closure": 1.0, "overhead": 0.06,
+            },
+        }))
+        assert flat["host/bandwidth/heap"] == {
+            "value": 900.0, "unit": "ns/ev", "better": "lower",
+        }
+        assert flat["host/bandwidth/pack-unpack"]["value"] == 1400.0
+        assert flat["host/bandwidth/total"]["value"] == 8000.0
+
+    def test_malformed_host_profile_ignored(self):
+        rec = {"host_profile": {"bad": 3, "also-bad": {"ns_per_event": 7}}}
+        assert trends.record_metrics(rec) == {}
+
+
+class TestHostTrajectory:
+    def test_host_keys_chart_over_the_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path))
+        for i, pack_ns in enumerate((1400.0, 3100.0)):
+            ledger.append_record(_record(i, 100.0, host_profile={
+                "bandwidth": {
+                    "ns_per_event": {"pack-unpack": pack_ns,
+                                     "total": 7000.0 + pack_ns},
+                    "closure": 1.0, "overhead": 0.06,
+                },
+            }))
+        records = ledger.read_ledger()
+        assert "host/bandwidth/pack-unpack" in trends.metric_keys(records)
+        text = trends.format_trends(records, ["host/bandwidth/pack-unpack"])
+        assert "host/bandwidth/pack-unpack" in text
+        assert "(ns/ev, lower is better)" in text
+        assert "+121.4%" in text  # 1400 -> 3100
+
 
 class TestFormatTrends:
     def test_two_record_trajectory_with_delta(self, two_records):
