@@ -171,6 +171,10 @@ CELL_EVALUATORS = {
 
 def cell_workload_spec(figure: str, x: int) -> str:
     """Human-readable workload identity of a cell — part of its cache key."""
+    if figure.startswith("workload:"):
+        from repro.workloads.library import workload_spec
+
+        return workload_spec(figure.split(":", 1)[1])
     if figure == "fig11":
         return fig10_struct(x).name
     if figure == "contig":

@@ -270,6 +270,12 @@ def _cache_store(key: str, cell: Cell, value: float) -> None:
 
 def evaluate_cell(cell: Cell) -> float:
     """Measure one cell in the current process (the worker entry point)."""
+    if cell.figure.startswith("workload:"):
+        from repro.workloads.suite import evaluate_workload_cell
+
+        return evaluate_workload_cell(
+            cell.figure, cell.series, dict(cell.extra)
+        )
     from repro.bench.figures import CELL_EVALUATORS
 
     fn = CELL_EVALUATORS.get(cell.figure)

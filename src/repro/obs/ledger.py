@@ -58,8 +58,8 @@ LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
 LEDGER_FILENAME = "ledger.jsonl"
 
-#: record kinds the bench and guidelines layers write
-KINDS = ("gate", "selftest", "sweep", "guidelines")
+#: record kinds the bench, guidelines, and workload-suite layers write
+KINDS = ("gate", "selftest", "sweep", "guidelines", "scenario")
 
 #: statuses that count as "good" for regression comparison
 GOOD_STATUSES = ("pass", "baseline")

@@ -1,0 +1,219 @@
+"""CLI: ``python -m repro.workloads {list,validate,replay,record,run,fuzz}``.
+
+``list`` prints the checked-in library with per-workload summaries.
+``validate`` checks workload JSON files and reports rank/op-indexed
+errors.  ``replay`` lowers a workload onto the simulator (any scheme or
+cost-model preset) and prints the simulated time.  ``record`` captures
+one of the example patterns into a fresh trace JSON.  ``run`` executes
+the usage-weighted scenario suite through the cached pool runner and
+appends a ``scenario`` ledger record.  ``fuzz`` runs the time-boxed
+grammar fuzzer and writes any counterexample as a workload artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.schemes import SCHEME_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Workload IR: trace replay, fuzzing, scenario suite",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="checked-in workload library")
+
+    val = sub.add_parser("validate", help="validate workload JSON files")
+    val.add_argument("files", nargs="+", metavar="FILE")
+
+    rep = sub.add_parser("replay", help="replay a workload JSON file")
+    rep.add_argument("file", metavar="FILE")
+    rep.add_argument(
+        "--scheme", default=None, choices=SCHEME_NAMES,
+        help="override the workload's datatype scheme",
+    )
+    rep.add_argument(
+        "--preset", default=None,
+        help="cost-model preset (default: paper's mellanox_2003)",
+    )
+
+    rec = sub.add_parser("record", help="record an example pattern")
+    rec.add_argument("pattern", metavar="PATTERN")
+    rec.add_argument(
+        "--scheme", default="bc-spup", choices=SCHEME_NAMES,
+        help="scheme to record under (default: bc-spup)",
+    )
+    rec.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="output JSON path (default: <pattern>.json)",
+    )
+
+    run = sub.add_parser(
+        "run", help="usage-weighted scenario suite -> ledger"
+    )
+    run.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="library workloads (default: all)",
+    )
+    run.add_argument(
+        "--schemes", nargs="+", default=None, choices=SCHEME_NAMES,
+        help="schemes to sweep (default: all seven)",
+    )
+    run.add_argument(
+        "--presets", nargs="+", default=None, metavar="PRESET",
+        help="cost-model presets (default: mellanox_2003 hdr_ib_2020)",
+    )
+    run.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: auto)",
+    )
+    run.add_argument(
+        "--no-ledger", action="store_true",
+        help="print metrics without appending a ledger record",
+    )
+
+    fuzz = sub.add_parser("fuzz", help="time-boxed grammar fuzzing")
+    fuzz.add_argument(
+        "--seconds", type=float, default=60.0,
+        help="time budget (default: 60)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; chunk k uses seed+k (default: 0)",
+    )
+    fuzz.add_argument(
+        "--artifact", default=None, metavar="DIR",
+        help="directory for counterexample workload JSON",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.workloads.library import library_names, load_workload
+    from repro.workloads.suite import SUITE_WEIGHTS, _DEFAULT_WEIGHT
+
+    names = library_names()
+    if not names:
+        print("library is empty")
+        return 0
+    for name in names:
+        wl = load_workload(name)
+        ops = sum(len(r) for r in wl.ranks)
+        weight = SUITE_WEIGHTS.get(name, _DEFAULT_WEIGHT)
+        print(
+            f"{name:28s} nranks={wl.nranks} ops={ops:5d} "
+            f"types={len(wl.types)} weight={weight:.2f}"
+        )
+    return 0
+
+
+def _cmd_validate(files) -> int:
+    from repro.workloads.validate import validate_text
+
+    bad = 0
+    for path in files:
+        try:
+            validate_text(Path(path).read_text())
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            print(f"{path}: FAIL: {exc}")
+            bad += 1
+        else:
+            print(f"{path}: ok")
+    return 1 if bad else 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.workloads import parse, replay
+
+    workload = parse(Path(args.file).read_text())
+    cost_model = None
+    if args.preset:
+        from repro.ib.costmodel import get_preset
+
+        cost_model = get_preset(args.preset)
+    result = replay(workload, scheme=args.scheme, cost_model=cost_model)
+    print(
+        f"{workload.name}: scheme={result.scheme} "
+        f"time={result.time_us:.1f} us"
+    )
+    return 0
+
+
+def _cmd_record(args) -> int:
+    from repro.workloads import to_json
+    from repro.workloads.patterns import pattern_names, record_pattern
+
+    if args.pattern not in pattern_names():
+        print(
+            f"unknown pattern {args.pattern!r}; "
+            f"choose from {', '.join(pattern_names())}"
+        )
+        return 2
+    rec = record_pattern(args.pattern, scheme=args.scheme)
+    out = Path(args.output or f"{args.pattern}.json")
+    out.write_text(to_json(rec.workload))
+    print(f"{out}: recorded {args.pattern} ({rec.time_us:.1f} us simulated)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.workloads.suite import run_suite
+
+    metrics = run_suite(
+        workloads=args.workloads,
+        schemes=args.schemes,
+        presets=args.presets,
+        jobs=args.jobs,
+        ledger=not args.no_ledger,
+    )
+    width = max(len(k) for k in metrics)
+    for key in sorted(metrics):
+        print(f"{key:{width}s}  {metrics[key]:12.1f} us")
+    if not args.no_ledger:
+        from repro.obs.ledger import ledger_path
+
+        print(f"scenario record appended to {ledger_path()}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.workloads.fuzz import fuzz_time_boxed
+
+    report = fuzz_time_boxed(
+        args.seconds, seed=args.seed, artifact_dir=args.artifact
+    )
+    print(
+        f"fuzz: {report.examples} examples in {report.chunks} chunks "
+        f"({report.elapsed:.1f} s)"
+    )
+    if report.ok:
+        print("no counterexample found")
+        return 0
+    print(f"COUNTEREXAMPLE: {report.failure['error']}")
+    if report.failure["path"]:
+        print(f"workload written to {report.failure['path']}")
+    return 1
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "validate":
+        return _cmd_validate(args.files)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_fuzz(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,603 @@
+"""Recorder: capture workload IR traces from live ``repro.mpi`` use.
+
+:func:`record` runs ordinary rank programs (the ``examples/`` patterns)
+against a real :class:`~repro.mpi.world.Cluster`, but hands each program
+a :class:`RecordingContext` proxy instead of the raw
+:class:`~repro.mpi.context.RankContext`.  The proxy forwards every call
+to the live context *and* appends the equivalent IR op, so the finished
+run yields a :class:`~repro.workloads.ir.Workload` that replays to the
+same simulated schedule.
+
+Application writes (NumPy stores between MPI calls) are captured by
+shadow-memory diffing: before every recorded op, each buffer is diffed
+against its shadow copy and changed spans become ``data`` ops.  Bytes
+that the *network* will write — posted-receive landing blocks and
+remote-put target blocks — are excluded from the diff until the
+completing wait/fence, so a trace never bakes in scheme- or
+timing-dependent delivered bytes: replaying the same trace under a
+different scheme regenerates them through the protocol itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.datatypes.base import Datatype
+from repro.mpi.world import Cluster
+from repro.workloads import ir
+from repro.workloads.ir import Workload, WorkloadError, encode_data, encode_type
+from repro.workloads.replay import digest_buffers, pack_typed
+
+__all__ = ["RecordedRun", "Recorder", "RecordingContext", "UnsupportedOp",
+           "record"]
+
+
+class UnsupportedOp(WorkloadError):
+    """The live program used API the workload IR cannot express."""
+
+
+@dataclass
+class RecordedRun:
+    """A finished recording: the trace plus the live run's observables.
+
+    ``digests``/``payloads``/``time_us`` describe the *recorded* run —
+    the differential tests replay ``workload`` and compare against them.
+    """
+
+    workload: Workload
+    time_us: float
+    digests: list
+    payloads: list
+    values: list
+
+
+class _RankState:
+    """Per-rank recorder bookkeeping."""
+
+    def __init__(self, rank: int, memory):
+        self.rank = rank
+        self.memory = memory
+        self.ops: list[ir.Op] = []
+        #: (base_addr, size, name) in allocation order
+        self.bufs: list[tuple[int, int, str]] = []
+        self.shadow: dict[str, np.ndarray] = {}
+        self.excl: dict[str, np.ndarray] = {}
+        self.req_names: dict[int, str] = {}
+        #: recv request name -> (buf name, buf offset, datatype, count, addr)
+        self.recv_info: dict[str, tuple] = {}
+        #: live window id -> {"name", "ordinal", "buf", "offset", "size"}
+        self.windows: dict[int, dict] = {}
+        self.win_by_ordinal: list[dict] = []
+        self.nreq = 0
+
+    # -- buffer resolution -------------------------------------------------
+
+    def new_buffer(self, base: int, size: int) -> str:
+        name = f"b{len(self.bufs)}"
+        self.bufs.append((base, size, name))
+        self.shadow[name] = self.memory.view(base, size).copy()
+        self.excl[name] = np.zeros(size, dtype=bool)
+        return name
+
+    def locate(self, addr: int, lo: int, hi: int, what: str) -> tuple[str, int]:
+        """(buffer name, offset) of the access spanning [addr+lo, addr+hi)."""
+        for base, size, name in self.bufs:
+            if base <= addr < base + size:
+                if addr + lo < base or addr + hi > base + size:
+                    raise UnsupportedOp(
+                        f"rank {self.rank}: {what} spans [{addr + lo}, "
+                        f"{addr + hi}) beyond buffer {name!r} "
+                        f"[{base}, {base + size})"
+                    )
+                return name, addr - base
+        raise UnsupportedOp(
+            f"rank {self.rank}: {what} at address {addr:#x} is not in any "
+            "recorded buffer (allocate through the recording context)"
+        )
+
+    # -- shadow diffing ----------------------------------------------------
+
+    def sync(self) -> None:
+        """Emit ``data`` ops for app-written bytes since the last sync.
+
+        Spans never cross an excluded byte (those belong to the network),
+        but they do merge across *unchanged* non-excluded gaps — those
+        bytes are application-deterministic, so re-writing them in the
+        replay is a no-op.
+        """
+        for base, size, name in self.bufs:
+            live = self.memory.view(base, size)
+            shadow = self.shadow[name]
+            excl = self.excl[name]
+            changed = live != shadow
+            if excl.any():
+                changed &= ~excl
+            if not changed.any():
+                continue
+            idx = np.flatnonzero(changed)
+            run_id = np.cumsum(excl)[idx]
+            splits = np.flatnonzero(np.diff(run_id)) + 1
+            for seg in np.split(idx, splits):
+                s = int(seg[0])
+                e = int(seg[-1]) + 1
+                self.ops.append(
+                    ir.Data(
+                        buf=name,
+                        offset=s,
+                        zlib64=encode_data(live[s:e].tobytes()),
+                    )
+                )
+                shadow[s:e] = live[s:e]
+
+    def mask_blocks(
+        self, name: str, offset: int, dt: Datatype, count: int
+    ) -> None:
+        excl = self.excl[name]
+        for off, length in dt.flatten(count).blocks():
+            excl[offset + int(off): offset + int(off) + int(length)] = True
+
+    def resync_blocks(
+        self, name: str, offset: int, dt: Datatype, count: int
+    ) -> None:
+        """Absorb network-delivered bytes into the shadow and unmask."""
+        base = next(b for b, _s, n in self.bufs if n == name)
+        live = self.memory.view(base, self.shadow[name].shape[0])
+        shadow = self.shadow[name]
+        excl = self.excl[name]
+        for off, length in dt.flatten(count).blocks():
+            s = offset + int(off)
+            e = s + int(length)
+            shadow[s:e] = live[s:e]
+            excl[s:e] = False
+
+    def resync_region(self, name: str, offset: int, nbytes: int) -> None:
+        base = next(b for b, _s, n in self.bufs if n == name)
+        live = self.memory.view(base, self.shadow[name].shape[0])
+        self.shadow[name][offset: offset + nbytes] = live[offset: offset + nbytes]
+        self.excl[name][offset: offset + nbytes] = False
+
+    def digest(self) -> str:
+        views = [
+            (name, self.memory.view(base, size))
+            for base, size, name in self.bufs
+        ]
+        return digest_buffers(views)
+
+
+class Recorder:
+    """Accumulates per-rank op streams + the shared datatype table."""
+
+    def __init__(self, collect_payloads: bool = True):
+        self.states: dict[int, _RankState] = {}
+        self.type_names: dict[tuple, str] = {}
+        self.type_nodes: dict[str, dict] = {}
+        self.digests: dict[int, list] = {}
+        self.payloads: dict[int, dict] = {}
+        self.collect_payloads = collect_payloads
+
+    def state_for(self, ctx) -> _RankState:
+        state = self.states.get(ctx.rank)
+        if state is None:
+            state = _RankState(ctx.rank, ctx.node.memory)
+            self.states[ctx.rank] = state
+            self.digests[ctx.rank] = []
+            self.payloads[ctx.rank] = {}
+        return state
+
+    def type_name(self, dt: Datatype) -> str:
+        sig = dt.signature()
+        name = self.type_names.get(sig)
+        if name is None:
+            name = f"t{len(self.type_names)}"
+            self.type_names[sig] = name
+            self.type_nodes[name] = encode_type(dt)
+        return name
+
+    def wrap(self, program: Callable) -> Callable:
+        """A rank program factory that records through a proxy context."""
+
+        def wrapped(ctx):
+            return program(RecordingContext(self, ctx))
+
+        return wrapped
+
+    def build(
+        self,
+        name: str,
+        scheme: str = "bc-spup",
+        eager_rdma: bool = False,
+    ) -> Workload:
+        nranks = len(self.states)
+        if sorted(self.states) != list(range(nranks)):
+            raise WorkloadError(
+                f"recorded ranks {sorted(self.states)} are not contiguous"
+            )
+        return Workload(
+            name=name,
+            nranks=nranks,
+            ranks=tuple(
+                tuple(self.states[r].ops) for r in range(nranks)
+            ),
+            types=dict(self.type_nodes),
+            scheme=scheme,
+            eager_rdma=eager_rdma,
+        )
+
+
+class RecordingContext:
+    """RankContext proxy that appends IR ops as the program runs."""
+
+    #: attributes forwarded untouched to the live context
+    _PASSTHROUGH = ("rank", "nranks", "now", "node", "sim", "cm", "cluster")
+
+    def __init__(self, recorder: Recorder, ctx):
+        self._rec = recorder
+        self._ctx = ctx
+        self._state = recorder.state_for(ctx)
+
+    def __getattr__(self, attr):
+        if attr in self._PASSTHROUGH:
+            return getattr(self._ctx, attr)
+        raise UnsupportedOp(
+            f"rank {self._ctx.rank}: RankContext.{attr} is not recordable "
+            "into the workload IR"
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _observe(self, op_index: int) -> None:
+        self._rec.digests[self._ctx.rank].append(
+            (op_index, self._state.digest())
+        )
+
+    def _grab(self, key: str, addr: int, dt: Datatype, count: int) -> None:
+        if self._rec.collect_payloads:
+            self._rec.payloads[self._ctx.rank][key] = pack_typed(
+                self._ctx.node.memory, addr, dt, count
+            )
+
+    def _typed_access(
+        self, addr: int, dt: Datatype, count: int, what: str
+    ) -> tuple[str, int]:
+        flat = dt.flatten(count)
+        if flat.nblocks:
+            lo = int(flat.offsets[0])
+            hi = int(flat.offsets[-1] + flat.lengths[-1])
+        else:
+            lo = hi = 0
+        return self._state.locate(addr, lo, hi, what)
+
+    # -- memory ------------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        self._state.sync()
+        addr = self._ctx.alloc(nbytes, align)
+        name = self._state.new_buffer(addr, nbytes)
+        self._state.ops.append(ir.Alloc(buf=name, nbytes=nbytes, align=align))
+        return addr
+
+    def alloc_array(self, shape, dtype):
+        self._state.sync()
+        sa = self._ctx.alloc_array(shape, dtype)
+        dt = np.dtype(dtype)
+        nbytes = max(int(np.prod(shape)) * dt.itemsize, 1)
+        name = self._state.new_buffer(sa.addr, nbytes)
+        self._state.ops.append(
+            ir.Alloc(buf=name, nbytes=nbytes, align=dt.itemsize or 1)
+        )
+        return sa
+
+    # -- point-to-point ----------------------------------------------------
+
+    def isend(self, addr, datatype, count, dest, tag):
+        self._state.sync()
+        buf, offset = self._typed_access(addr, datatype, count, "isend")
+        req_name = f"r{self._state.nreq}"
+        self._state.nreq += 1
+        self._state.ops.append(
+            ir.Isend(
+                req=req_name, buf=buf, offset=offset,
+                type=self._rec.type_name(datatype), count=count,
+                dest=dest, tag=tag,
+            )
+        )
+        req = yield from self._ctx.isend(addr, datatype, count, dest, tag)
+        self._state.req_names[id(req)] = req_name
+        return req
+
+    def irecv(self, addr, datatype, count, source, tag):
+        self._state.sync()
+        buf, offset = self._typed_access(addr, datatype, count, "irecv")
+        req_name = f"r{self._state.nreq}"
+        self._state.nreq += 1
+        self._state.ops.append(
+            ir.Irecv(
+                req=req_name, buf=buf, offset=offset,
+                type=self._rec.type_name(datatype), count=count,
+                source=source, tag=tag,
+            )
+        )
+        # delivered bytes belong to the network, not the application
+        self._state.mask_blocks(buf, offset, datatype, count)
+        self._state.recv_info[req_name] = (buf, offset, datatype, count, addr)
+        req = yield from self._ctx.irecv(addr, datatype, count, source, tag)
+        self._state.req_names[id(req)] = req_name
+        return req
+
+    def send(self, addr, datatype, count, dest, tag):
+        self._state.sync()
+        buf, offset = self._typed_access(addr, datatype, count, "send")
+        self._state.ops.append(
+            ir.Send(
+                buf=buf, offset=offset,
+                type=self._rec.type_name(datatype), count=count,
+                dest=dest, tag=tag,
+            )
+        )
+        yield from self._ctx.send(addr, datatype, count, dest, tag)
+        self._observe(len(self._state.ops) - 1)
+
+    def recv(self, addr, datatype, count, source, tag):
+        self._state.sync()
+        buf, offset = self._typed_access(addr, datatype, count, "recv")
+        index = len(self._state.ops)
+        self._state.ops.append(
+            ir.Recv(
+                buf=buf, offset=offset,
+                type=self._rec.type_name(datatype), count=count,
+                source=source, tag=tag,
+            )
+        )
+        req = yield from self._ctx.recv(addr, datatype, count, source, tag)
+        self._state.resync_blocks(buf, offset, datatype, count)
+        self._grab(f"op{index}", addr, datatype, count)
+        self._observe(index)
+        return req
+
+    def _complete(self, req) -> None:
+        req_name = self._state.req_names.get(id(req))
+        if req_name is None:
+            raise UnsupportedOp(
+                f"rank {self._ctx.rank}: wait on a request the recorder "
+                "did not issue"
+            )
+        info = self._state.recv_info.pop(req_name, None)
+        if info is not None:
+            buf, offset, datatype, count, addr = info
+            self._state.resync_blocks(buf, offset, datatype, count)
+            self._grab(req_name, addr, datatype, count)
+
+    def wait(self, req):
+        self._state.sync()
+        req_name = self._state.req_names.get(id(req))
+        if req_name is None:
+            raise UnsupportedOp(
+                f"rank {self._ctx.rank}: wait on a request the recorder "
+                "did not issue"
+            )
+        index = len(self._state.ops)
+        self._state.ops.append(ir.Wait(req=req_name))
+        yield from self._ctx.wait(req)
+        self._complete(req)
+        self._observe(index)
+
+    def waitall(self, reqs):
+        self._state.sync()
+        names = []
+        for req in reqs:
+            req_name = self._state.req_names.get(id(req))
+            if req_name is None:
+                raise UnsupportedOp(
+                    f"rank {self._ctx.rank}: waitall on a request the "
+                    "recorder did not issue"
+                )
+            names.append(req_name)
+        index = len(self._state.ops)
+        self._state.ops.append(ir.Waitall(reqs=tuple(names)))
+        yield from self._ctx.waitall(reqs)
+        for req in reqs:
+            self._complete(req)
+        self._observe(index)
+
+    # -- collectives -------------------------------------------------------
+
+    def barrier(self):
+        self._state.sync()
+        index = len(self._state.ops)
+        self._state.ops.append(ir.Barrier())
+        yield from self._ctx.barrier()
+        self._observe(index)
+
+    def alltoall(self, sendaddr, sendtype, sendcount,
+                 recvaddr, recvtype, recvcount):
+        self._state.sync()
+        n = self._ctx.nranks
+        sbuf, soff = self._typed_access(
+            sendaddr, sendtype, sendcount * n, "alltoall send"
+        )
+        rbuf, roff = self._typed_access(
+            recvaddr, recvtype, recvcount * n, "alltoall recv"
+        )
+        index = len(self._state.ops)
+        self._state.ops.append(
+            ir.Alltoall(
+                sendbuf=sbuf, sendoffset=soff,
+                sendtype=self._rec.type_name(sendtype), sendcount=sendcount,
+                recvbuf=rbuf, recvoffset=roff,
+                recvtype=self._rec.type_name(recvtype), recvcount=recvcount,
+            )
+        )
+        yield from self._ctx.alltoall(
+            sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount
+        )
+        self._state.resync_blocks(rbuf, roff, recvtype, recvcount * n)
+        self._grab(f"op{index}", recvaddr, recvtype, recvcount * n)
+        self._observe(index)
+
+    def bcast(self, addr, datatype, count, root):
+        self._state.sync()
+        buf, offset = self._typed_access(addr, datatype, count, "bcast")
+        index = len(self._state.ops)
+        self._state.ops.append(
+            ir.Bcast(
+                buf=buf, offset=offset,
+                type=self._rec.type_name(datatype), count=count, root=root,
+            )
+        )
+        yield from self._ctx.bcast(addr, datatype, count, root)
+        self._state.resync_blocks(buf, offset, datatype, count)
+        self._grab(f"op{index}", addr, datatype, count)
+        self._observe(index)
+
+    def allgather(self, sendaddr, sendtype, sendcount,
+                  recvaddr, recvtype, recvcount):
+        self._state.sync()
+        n = self._ctx.nranks
+        sbuf, soff = self._typed_access(
+            sendaddr, sendtype, sendcount, "allgather send"
+        )
+        rbuf, roff = self._typed_access(
+            recvaddr, recvtype, recvcount * n, "allgather recv"
+        )
+        index = len(self._state.ops)
+        self._state.ops.append(
+            ir.Allgather(
+                sendbuf=sbuf, sendoffset=soff,
+                sendtype=self._rec.type_name(sendtype), sendcount=sendcount,
+                recvbuf=rbuf, recvoffset=roff,
+                recvtype=self._rec.type_name(recvtype), recvcount=recvcount,
+            )
+        )
+        yield from self._ctx.allgather(
+            sendaddr, sendtype, sendcount, recvaddr, recvtype, recvcount
+        )
+        self._state.resync_blocks(rbuf, roff, recvtype, recvcount * n)
+        self._grab(f"op{index}", recvaddr, recvtype, recvcount * n)
+        self._observe(index)
+
+    # -- one-sided ---------------------------------------------------------
+
+    def win_create(self, base, size):
+        self._state.sync()
+        buf, offset = self._state.locate(base, 0, size, "win_create")
+        name = f"w{len(self._state.win_by_ordinal)}"
+        self._state.ops.append(
+            ir.WinCreate(win=name, buf=buf, offset=offset, size=size)
+        )
+        win = yield from self._ctx.win_create(base, size)
+        entry = {
+            "name": name,
+            "ordinal": len(self._state.win_by_ordinal),
+            "buf": buf,
+            "offset": offset,
+            "size": size,
+        }
+        self._state.windows[id(win)] = entry
+        self._state.win_by_ordinal.append(entry)
+        return win
+
+    def put(self, win, target_rank, origin_addr, origin_dt, origin_count=1,
+            target_disp=0, target_dt=None, target_count=None):
+        self._state.sync()
+        entry = self._state.windows.get(id(win))
+        if entry is None:
+            raise UnsupportedOp(
+                f"rank {self._ctx.rank}: put on a window the recorder "
+                "did not create"
+            )
+        buf, offset = self._typed_access(
+            origin_addr, origin_dt, origin_count, "put origin"
+        )
+        tdt = target_dt if target_dt is not None else origin_dt
+        tcount = target_count if target_count is not None else origin_count
+        self._state.ops.append(
+            ir.Put(
+                win=entry["name"], target=target_rank, buf=buf,
+                offset=offset, type=self._rec.type_name(origin_dt),
+                count=origin_count, target_disp=target_disp,
+                target_type=(
+                    self._rec.type_name(target_dt)
+                    if target_dt is not None else None
+                ),
+                target_count=target_count,
+            )
+        )
+        # the target's landing blocks belong to the network until its
+        # next fence — mask them on the *target* rank's shadow
+        target_state = self._rec.states.get(target_rank)
+        if target_state is not None:
+            tentry = (
+                target_state.win_by_ordinal[entry["ordinal"]]
+                if entry["ordinal"] < len(target_state.win_by_ordinal)
+                else None
+            )
+            if tentry is None:
+                raise UnsupportedOp(
+                    f"rank {self._ctx.rank}: put targets window "
+                    f"#{entry['ordinal']} missing on rank {target_rank}"
+                )
+            target_state.mask_blocks(
+                tentry["buf"], tentry["offset"] + target_disp, tdt, tcount
+            )
+        yield from self._ctx.put(
+            win, target_rank, origin_addr, origin_dt, origin_count,
+            target_disp, target_dt, target_count,
+        )
+
+    def win_fence(self, win):
+        self._state.sync()
+        entry = self._state.windows.get(id(win))
+        if entry is None:
+            raise UnsupportedOp(
+                f"rank {self._ctx.rank}: fence on a window the recorder "
+                "did not create"
+            )
+        index = len(self._state.ops)
+        self._state.ops.append(ir.Fence(win=entry["name"]))
+        yield from self._ctx.win_fence(win)
+        self._state.resync_region(entry["buf"], entry["offset"], entry["size"])
+        if self._rec.collect_payloads:
+            base = next(
+                b for b, _s, n in self._state.bufs if n == entry["buf"]
+            )
+            self._rec.payloads[self._ctx.rank][f"op{index}"] = (
+                self._ctx.node.memory.view(
+                    base + entry["offset"], entry["size"]
+                ).tobytes()
+            )
+        self._observe(index)
+
+
+def record(
+    programs: Sequence[Callable] | Callable,
+    *,
+    name: str,
+    nranks: int,
+    scheme: str = "bc-spup",
+    eager_rdma: bool = False,
+    cost_model: Optional[Any] = None,
+    collect_payloads: bool = True,
+) -> RecordedRun:
+    """Run programs live, returning the captured trace + observables."""
+    cluster = Cluster(
+        nranks=nranks, scheme=scheme, eager_rdma=eager_rdma,
+        cost_model=cost_model,
+    )
+    recorder = Recorder(collect_payloads=collect_payloads)
+    if callable(programs):
+        programs = [programs] * nranks
+    wrapped = [recorder.wrap(p) for p in programs]
+    result = cluster.run(wrapped)
+    workload = recorder.build(
+        name=name, scheme=scheme, eager_rdma=eager_rdma
+    )
+    return RecordedRun(
+        workload=workload,
+        time_us=result.time_us,
+        digests=[recorder.digests[r] for r in range(nranks)],
+        payloads=[recorder.payloads[r] for r in range(nranks)],
+        values=result.values,
+    )

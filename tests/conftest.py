@@ -7,9 +7,24 @@ delivers correct bytes with faults injected.  Tests that assert
 benchmark statistics — are meaningless with injected faults perturbing
 the clock; they carry the ``faultfree`` marker and run with the profile
 pinned back to inert regardless of the environment.
+
+Hypothesis profiles: CI selects ``HYPOTHESIS_PROFILE=ci`` so the fuzz
+tests are derandomized (seeded from each test's source) and fully
+reproducible across reruns; local runs keep the default randomized
+exploration.
 """
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
 
 
 def pytest_configure(config):

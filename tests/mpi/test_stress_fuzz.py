@@ -1,119 +1,32 @@
 """Protocol stress fuzzing: random traffic patterns must always deliver.
 
-Hypothesis drives the whole stack — random rank counts, message matrices,
-sizes straddling the eager/rendezvous boundary, tag collisions, posting
-orders, and schemes — asserting the single invariant that matters:
-every receive completes with exactly the bytes its matched send carried.
-This is the test that catches progress-engine races, credit leaks,
-matching-order violations, and buffer recycling bugs.
+Since the workload-IR port this is a thin wrapper: the traffic strategy
+lives in :mod:`repro.workloads.fuzz` as a Hypothesis grammar over the
+IR (random rank counts, message matrices, nested datatypes, sizes
+straddling the eager/rendezvous boundary, tag collisions, posting
+orders, and **all seven** schemes — the old inline strategy missed
+``p-rrs``), and the invariant is the grammar's static oracle: every
+receive completes with exactly the bytes its matched send carried.
+Counterexamples shrink to minimal IR programs that can be checked into
+``tests/workloads/corpus/`` verbatim.
 """
 
-import numpy as np
-import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, given, settings
 
-from repro import Cluster, types
-from repro.ib.costmodel import MB
+from repro.schemes import SCHEME_NAMES
+from repro.workloads.fuzz import check_workload, workloads
 
-SCHEMES = ("generic", "bc-spup", "rwg-up", "multi-w", "hybrid", "adaptive")
-
-
-@st.composite
-def traffic(draw):
-    nranks = draw(st.integers(2, 4))
-    nmsgs = draw(st.integers(1, 10))
-    msgs = []
-    for m in range(nmsgs):
-        src = draw(st.integers(0, nranks - 1))
-        dst = draw(st.integers(0, nranks - 1))
-        # sizes straddle the 8 KB eager threshold
-        size = draw(st.sampled_from([4, 64, 1024, 8192, 9000, 40000]))
-        tag = draw(st.integers(0, 2))  # deliberate collisions
-        msgs.append((src, dst, size, tag, m))
-    scheme = draw(st.sampled_from(SCHEMES))
-    eager_rdma = draw(st.booleans())
-    reverse_recv_order = draw(st.booleans())
-    return nranks, msgs, scheme, eager_rdma, reverse_recv_order
+#: the grammar draws schemes from the full registry — all seven
+SCHEMES = SCHEME_NAMES
 
 
 class TestStressFuzz:
-    @given(traffic())
-    @settings(max_examples=40, deadline=None)
-    def test_random_traffic_delivers_exactly(self, case):
-        nranks, msgs, scheme, eager_rdma, reverse = case
-        # expected per (src, dst, tag) FIFO streams
-        cluster = Cluster(
-            nranks, scheme=scheme, eager_rdma=eager_rdma,
-            memory_per_rank=128 * MB,
-        )
-
-        def pattern(mid, size):
-            return np.full(size, (mid * 37 + 11) % 251, dtype=np.uint8)
-
-        def make_program(rank):
-            my_sends = [m for m in msgs if m[0] == rank]
-            my_recvs = [m for m in msgs if m[1] == rank]
-            # MPI non-overtaking: receives for a given (src, tag) must be
-            # posted in send order; across distinct (src, tag) streams the
-            # order is free — optionally reversed stream-wise
-            if reverse:
-                streams = {}
-                for m in my_recvs:
-                    streams.setdefault((m[0], m[3]), []).append(m)
-                my_recvs = [m for key in sorted(streams, reverse=True)
-                            for m in streams[key]]
-
-            def program(mpi):
-                reqs = []
-                bufs = []
-                for src, _dst, size, tag, mid in my_recvs:
-                    dt = types.contiguous(size, types.BYTE)
-                    buf = mpi.alloc(max(size, 1))
-                    r = yield from mpi.irecv(buf, dt, 1, src, tag)
-                    reqs.append(r)
-                    bufs.append((buf, size, mid))
-                for _src, dst, size, tag, mid in my_sends:
-                    dt = types.contiguous(size, types.BYTE)
-                    buf = mpi.alloc(max(size, 1))
-                    mpi.node.memory.view(buf, size)[:] = pattern(mid, size)
-                    r = yield from mpi.isend(buf, dt, 1, dst, tag)
-                    reqs.append(r)
-                yield from mpi.waitall(reqs)
-                out = []
-                for buf, size, mid in bufs:
-                    out.append(bytes(mpi.node.memory.view(buf, size)))
-                return out
-
-            return program
-
-        result = cluster.run([make_program(r) for r in range(nranks)])
-        # verify: each receive stream (src, dst, tag) got the matching
-        # send stream's payloads in order
-        for rank in range(nranks):
-            my_recvs = [m for m in msgs if m[1] == rank]
-            if reverse:
-                streams = {}
-                for m in my_recvs:
-                    streams.setdefault((m[0], m[3]), []).append(m)
-                my_recvs = [m for key in sorted(streams, reverse=True)
-                            for m in streams[key]]
-            got = result.values[rank]
-            # group receives by stream; k-th receive of a stream matches
-            # the k-th send of that stream (in message-creation order,
-            # which equals posting order here)
-            stream_pos = {}
-            for (src, _dst, size, tag, _mid), payload in zip(my_recvs, got):
-                key = (src, rank, tag)
-                k = stream_pos.get(key, 0)
-                stream_pos[key] = k + 1
-                sends = [m for m in msgs if (m[0], m[1], m[3]) == key]
-                s_src, s_dst, s_size, s_tag, s_mid = sends[k]
-                assert s_size == size or True  # sizes may differ per msg
-                expect = bytes(
-                    np.full(min(size, s_size), (s_mid * 37 + 11) % 251,
-                            dtype=np.uint8)
-                )
-                assert payload[: len(expect)] == expect, (
-                    scheme, eager_rdma, key, k
-                )
+    @given(workloads())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_traffic_delivers_exactly(self, workload):
+        assert workload.scheme in SCHEMES
+        check_workload(workload)

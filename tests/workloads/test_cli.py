@@ -1,0 +1,78 @@
+"""``python -m repro.workloads`` surface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads.__main__ import main
+
+CORPUS = (
+    Path(__file__).resolve().parent / "corpus" / "eager_rndv_overtake.json"
+)
+
+
+@pytest.fixture(autouse=True)
+def sandbox(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_list_prints_library(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "halo_exchange_2d" in out
+    assert "weight=0.40" in out
+
+
+def test_validate_ok_and_failure(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["validate", str(CORPUS)]) == 0
+    assert main(["validate", str(CORPUS), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "ok" in out and "FAIL" in out
+
+
+def test_replay_reports_simulated_time(capsys):
+    assert main(["replay", str(CORPUS), "--scheme", "generic"]) == 0
+    out = capsys.readouterr().out
+    assert "eager_rndv_overtake" in out
+    assert "scheme=generic" in out
+    assert "us" in out
+
+
+def test_record_writes_trace(tmp_path, capsys):
+    out_path = tmp_path / "t.json"
+    code = main([
+        "record", "matrix_transpose_alltoall", "-o", str(out_path)
+    ])
+    assert code == 0
+    from repro.workloads import parse
+    from repro.workloads.library import load_workload
+
+    assert parse(out_path.read_text()) == load_workload(
+        "matrix_transpose_alltoall"
+    )
+
+
+def test_record_rejects_unknown_pattern(capsys):
+    assert main(["record", "nonesuch"]) == 2
+    assert "unknown pattern" in capsys.readouterr().out
+
+
+def test_run_subset_prints_metrics(capsys):
+    code = main([
+        "run", "--workloads", "particle_exchange",
+        "--schemes", "bc-spup", "--presets", "mellanox_2003",
+        "-j", "1", "--no-ledger",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario/particle_exchange/bc-spup/mellanox_2003" in out
+    assert "scenario/weighted/bc-spup/mellanox_2003" in out
+
+
+def test_fuzz_clean_box_exits_zero(capsys):
+    assert main(["fuzz", "--seconds", "2", "--seed", "3"]) == 0
+    assert "no counterexample" in capsys.readouterr().out

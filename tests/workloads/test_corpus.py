@@ -1,0 +1,48 @@
+"""Corpus replay: every checked-in regression program, every scheme.
+
+The corpus holds minimal IR programs distilled from found protocol
+bugs — the PR 2 eager/rendezvous overtake seed plus any shrunk fuzzer
+counterexamples.  Each must replay with oracle-exact payloads under all
+seven datatype schemes, with and without eager RDMA.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.schemes import SCHEME_NAMES
+from repro.workloads import parse, validate
+from repro.workloads.fuzz import check_workload, expected_payloads
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no corpus programs in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+@pytest.mark.parametrize("scheme", SCHEME_NAMES)
+def test_corpus_program_delivers_exact_payloads(path, scheme):
+    workload = parse(path.read_text())
+    validate(workload)
+    check_workload(workload, scheme=scheme)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_program_delivers_with_eager_rdma(path):
+    workload = parse(path.read_text())
+    check_workload(workload, eager_rdma=True)
+
+
+def test_overtake_seed_straddles_the_eager_threshold():
+    """The seed must keep one eager and one rendezvous send in the same
+    (src, dst, tag) stream — that straddle *is* the PR 2 bug shape."""
+    workload = parse(
+        (CORPUS_DIR / "eager_rndv_overtake.json").read_text()
+    )
+    expected = expected_payloads(workload)
+    sizes = sorted(len(p) for p in expected.values())
+    assert sizes == [4096, 12000]
+    assert sizes[0] < 8192 < sizes[1]

@@ -1,0 +1,78 @@
+"""Differential equivalence: recorded traces vs direct-API runs.
+
+A checked-in library trace replayed under scheme S must be *exactly*
+equal to a fresh live recording of the same pattern under S: identical
+simulated time, identical buffer-digest timelines at every observation
+point, identical delivered payloads.  This holds serially, on a process
+pool, and with a fault profile injected — recorded ``data`` ops carry
+only application writes (never network-delivered bytes), so a trace
+recorded under one scheme/timing is valid under every other.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.schemes import SCHEME_NAMES
+from repro.workloads.library import library_names, load_workload
+from repro.workloads.patterns import pattern_names, record_pattern
+from repro.workloads.replay import replay
+
+pytestmark = pytest.mark.faultfree
+
+
+def test_library_covers_every_pattern():
+    assert library_names() == pattern_names()
+
+
+@pytest.mark.parametrize("name", pattern_names())
+def test_replay_equals_live_run_default_scheme(name):
+    live = record_pattern(name)
+    rep = replay(load_workload(name), collect_payloads=True)
+    assert rep.time_us == live.time_us
+    assert rep.digests == live.digests
+    assert rep.payloads == live.payloads
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", pattern_names())
+@pytest.mark.parametrize("scheme", SCHEME_NAMES)
+def test_replay_equals_live_run_cross_scheme(name, scheme):
+    """The acceptance grid: every pattern, every scheme, exact equality."""
+    live = record_pattern(name, scheme=scheme)
+    rep = replay(
+        load_workload(name), scheme=scheme, collect_payloads=True
+    )
+    assert rep.time_us == live.time_us, (name, scheme)
+    assert rep.digests == live.digests, (name, scheme)
+    assert rep.payloads == live.payloads, (name, scheme)
+
+
+def _replay_worker(name):
+    res = replay(load_workload(name), collect_payloads=True)
+    return name, res.time_us, res.digests, res.payloads
+
+
+@pytest.mark.slow
+def test_parallel_replay_matches_serial():
+    serial = {name: _replay_worker(name) for name in library_names()}
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        parallel = {
+            out[0]: out
+            for out in pool.map(_replay_worker, library_names())
+        }
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("profile", ["lossy"])
+def test_replay_equals_live_run_under_faults(monkeypatch, profile):
+    """Fault injection perturbs timing identically for trace and live
+    run — the op streams are identical, so the fault schedule is too."""
+    monkeypatch.setenv("REPRO_FAULT_PROFILE", profile)
+    monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+    name = "halo_exchange_2d"
+    live = record_pattern(name)
+    rep = replay(load_workload(name), collect_payloads=True)
+    assert rep.time_us == live.time_us
+    assert rep.digests == live.digests
+    assert rep.payloads == live.payloads

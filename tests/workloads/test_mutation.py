@@ -1,0 +1,60 @@
+"""Mutation test: the fuzzer must re-find the PR 2 matching-order bug.
+
+``repro.mpi.context.BREAK_MATCHING_ORDER`` reverts the per-source
+sequence-order admission fix (envelopes deliver on arrival, so a fast
+rendezvous start can overtake an earlier eager payload in the same
+stream).  With the guard flipped, (a) the corpus seed program must fail
+its oracle on every scheme, and (b) the grammar fuzzer must find a
+counterexample within a slice of the CI time box — proof that the fuzz
+effort actually covers the protocol corner the bug lives in.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.mpi.context as mpi_context
+from repro.schemes import SCHEME_NAMES
+from repro.workloads import parse
+from repro.workloads.fuzz import check_workload, fuzz_time_boxed
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+
+@pytest.fixture
+def broken_matching_order(monkeypatch):
+    monkeypatch.setattr(mpi_context, "BREAK_MATCHING_ORDER", True)
+
+
+def _overtake():
+    return parse((CORPUS_DIR / "eager_rndv_overtake.json").read_text())
+
+
+def test_guard_defaults_off():
+    assert mpi_context.BREAK_MATCHING_ORDER is False
+
+
+@pytest.mark.parametrize("scheme", SCHEME_NAMES)
+def test_corpus_seed_detects_reverted_fix(broken_matching_order, scheme):
+    with pytest.raises((AssertionError, ValueError)):
+        check_workload(_overtake(), scheme=scheme)
+
+
+@pytest.mark.slow
+@pytest.mark.faultfree
+def test_fuzzer_refinds_matching_order_bug(monkeypatch, tmp_path):
+    monkeypatch.setattr(mpi_context, "BREAK_MATCHING_ORDER", True)
+    report = fuzz_time_boxed(
+        90, seed=42, artifact_dir=str(tmp_path)
+    )
+    assert not report.ok, (
+        f"fuzzer missed the reverted ordering fix after "
+        f"{report.examples} examples / {report.elapsed:.0f}s"
+    )
+    # the shrunk counterexample is a valid corpus candidate: it fails
+    # only while the fix is reverted
+    path = report.failure["path"]
+    assert path is not None and Path(path).is_file()
+    counterexample = parse(Path(path).read_text())
+    monkeypatch.setattr(mpi_context, "BREAK_MATCHING_ORDER", False)
+    check_workload(counterexample)

@@ -1,0 +1,110 @@
+"""Serialization: byte-stable round-trips and actionable parse errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.workloads import WorkloadError, parse, to_json, validate
+from repro.workloads.fuzz import workloads
+from repro.workloads.library import library_dir
+from repro.workloads.validate import is_valid
+
+CORPUS_DIR = Path(__file__).resolve().parent / "corpus"
+
+CHECKED_IN = sorted(CORPUS_DIR.glob("*.json")) + sorted(
+    library_dir().glob("*.json")
+)
+
+
+@pytest.mark.parametrize("path", CHECKED_IN, ids=lambda p: p.stem)
+def test_checked_in_files_are_byte_stable(path):
+    text = path.read_text()
+    workload = parse(text)
+    assert to_json(workload) == text
+    assert parse(to_json(workload)) == workload
+    validate(workload)
+
+
+@given(workloads())
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_generated_workloads_round_trip_byte_stable(workload):
+    text = to_json(workload)
+    assert parse(text) == workload
+    assert to_json(parse(text)) == text
+
+
+@given(workloads())
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_grammar_never_emits_invalid_programs(workload):
+    assert is_valid(workload) is None
+
+
+def _doc():
+    return json.loads(
+        (CORPUS_DIR / "eager_rndv_overtake.json").read_text()
+    )
+
+
+def _parse_doc(doc):
+    return parse(json.dumps(doc))
+
+
+def test_unknown_op_names_rank_index_and_known_ops():
+    doc = _doc()
+    doc["ranks"][1][2]["op"] = "telepathy"
+    with pytest.raises(WorkloadError) as err:
+        _parse_doc(doc)
+    msg = str(err.value)
+    assert "rank 1 op 2" in msg
+    assert "telepathy" in msg
+    assert "known ops" in msg
+
+
+def test_unknown_field_is_rejected_with_location():
+    doc = _doc()
+    doc["ranks"][0][0]["volume"] = 11
+    with pytest.raises(WorkloadError) as err:
+        _parse_doc(doc)
+    msg = str(err.value)
+    assert "rank 0 op 0" in msg
+    assert "volume" in msg
+
+
+def test_missing_required_field_is_rejected_with_location():
+    doc = _doc()
+    del doc["ranks"][0][4]["dest"]
+    with pytest.raises(WorkloadError) as err:
+        _parse_doc(doc)
+    msg = str(err.value)
+    assert "rank 0 op 4" in msg
+    assert "dest" in msg
+
+
+def test_unknown_type_reference_is_rejected():
+    doc = _doc()
+    doc["ranks"][0][4]["type"] = "ghost"
+    workload = _parse_doc(doc)
+    with pytest.raises(WorkloadError, match="ghost"):
+        validate(workload)
+
+
+def test_unknown_scheme_is_rejected():
+    doc = _doc()
+    doc["cluster"]["scheme"] = "warp-drive"
+    with pytest.raises(WorkloadError, match="warp-drive"):
+        validate(_parse_doc(doc))
+
+
+def test_bad_format_marker_is_rejected():
+    doc = _doc()
+    doc["format"] = "not-a-workload"
+    with pytest.raises(WorkloadError, match="format"):
+        _parse_doc(doc)
